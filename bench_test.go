@@ -1,0 +1,291 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// Benchmark per artifact, see DESIGN.md's per-experiment index), the
+// ablation benches for the design choices DESIGN.md calls out, and
+// micro-benchmarks for the hot simulator kernels.
+//
+// Run everything:  go test -bench=. -benchmem
+// One figure:      go test -bench=BenchmarkFig8 -benchmem
+package vcprof
+
+import (
+	"strconv"
+	"testing"
+
+	"vcprof/internal/encoders"
+	"vcprof/internal/harness"
+	"vcprof/internal/trace"
+	"vcprof/internal/uarch/bpred"
+	"vcprof/internal/uarch/cache"
+	"vcprof/internal/uarch/pipeline"
+	"vcprof/internal/video"
+)
+
+// benchScale is the workload the experiment benchmarks run: one clip,
+// three CRF points, small frames — enough to regenerate every shape in
+// seconds per figure.
+func benchScale() harness.Scale {
+	s := harness.QuickScale()
+	s.Clips = []string{"game1"}
+	s.Frames = 3
+	s.WindowOps = 150_000
+	return s
+}
+
+// runExperiment executes a registered experiment b.N times and reports
+// a headline metric from its first table.
+func runExperiment(b *testing.B, id string, metric func(tabs []*harness.Table) (string, float64)) {
+	b.Helper()
+	e, err := harness.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := benchScale()
+	var tabs []*harness.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tabs, err = e.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if metric != nil && len(tabs) > 0 {
+		name, v := metric(tabs)
+		b.ReportMetric(v, name)
+	}
+}
+
+// cellF parses a numeric table cell.
+func cellF(tabs []*harness.Table, table, row, col int) float64 {
+	if table >= len(tabs) || row >= len(tabs[table].Rows) || col >= len(tabs[table].Rows[row]) {
+		return 0
+	}
+	v, _ := strconv.ParseFloat(tabs[table].Rows[row][col], 64)
+	return v
+}
+
+// --- One benchmark per paper artifact -------------------------------
+
+func BenchmarkTable1Catalog(b *testing.B) {
+	runExperiment(b, "table1", nil)
+}
+
+func BenchmarkFig1RuntimeVsCRF(b *testing.B) {
+	runExperiment(b, "fig1", func(t []*harness.Table) (string, float64) {
+		// svt-av1 / x264 instruction ratio at the lowest CRF.
+		return "svt/x264-insts", cellF(t, 1, 0, 5) / cellF(t, 1, 0, 1)
+	})
+}
+
+func BenchmarkFig2aBDRate(b *testing.B) {
+	runExperiment(b, "fig2a", func(t []*harness.Table) (string, float64) {
+		return "svt-bdrate-pct", cellF(t, 0, 4, 1)
+	})
+}
+
+func BenchmarkFig2bPSNRvsTime(b *testing.B) {
+	runExperiment(b, "fig2b", nil)
+}
+
+func BenchmarkTable2InstrMix(b *testing.B) {
+	runExperiment(b, "table2", func(t []*harness.Table) (string, float64) {
+		return "avx-pct", cellF(t, 0, 0, 5)
+	})
+}
+
+func BenchmarkFig3OpMix(b *testing.B) {
+	runExperiment(b, "fig3", nil)
+}
+
+func BenchmarkFig4CRFSweep(b *testing.B) {
+	runExperiment(b, "fig4", func(t []*harness.Table) (string, float64) {
+		return "ipc-crf10", cellF(t, 2, 0, 1)
+	})
+}
+
+func BenchmarkFig5TopDown(b *testing.B) {
+	runExperiment(b, "fig5", func(t []*harness.Table) (string, float64) {
+		return "retiring", cellF(t, 0, 0, 2)
+	})
+}
+
+func BenchmarkFig6Microarch(b *testing.B) {
+	runExperiment(b, "fig6", func(t []*harness.Table) (string, float64) {
+		return "l1d-mpki-crf60", cellF(t, 0, len(t[0].Rows)-1, 3)
+	})
+}
+
+func BenchmarkFig7BranchMissRate(b *testing.B) {
+	runExperiment(b, "fig7", func(t []*harness.Table) (string, float64) {
+		return "missrate-pct", cellF(t, 0, 0, 2)
+	})
+}
+
+func BenchmarkFig8CBP(b *testing.B) {
+	runExperiment(b, "fig8", func(t []*harness.Table) (string, float64) {
+		return "tage64-mpki", cellF(t, 0, 0, 4)
+	})
+}
+
+func BenchmarkFig9CBP(b *testing.B) {
+	runExperiment(b, "fig9", nil)
+}
+
+func BenchmarkFig10CBP(b *testing.B) {
+	runExperiment(b, "fig10", nil)
+}
+
+func BenchmarkFig11PresetSweep(b *testing.B) {
+	runExperiment(b, "fig11", func(t []*harness.Table) (string, float64) {
+		// preset-0 over preset-8 instruction ratio.
+		return "p0/p8-insts", cellF(t, 0, 0, 2) / cellF(t, 0, 8, 2)
+	})
+}
+
+func BenchmarkFig12ThreadScaling(b *testing.B) {
+	runExperiment(b, "fig12", func(t []*harness.Table) (string, float64) {
+		return "svt-speedup-8t", cellF(t, 0, len(t[0].Rows)-1, 4)
+	})
+}
+
+func BenchmarkFig13ThreadScaling(b *testing.B) {
+	runExperiment(b, "fig13", nil)
+}
+
+func BenchmarkFig14ThreadScaling(b *testing.B) {
+	runExperiment(b, "fig14", nil)
+}
+
+func BenchmarkFig15ThreadScaling(b *testing.B) {
+	runExperiment(b, "fig15", nil)
+}
+
+func BenchmarkFig16TopDownThreads(b *testing.B) {
+	runExperiment(b, "fig16", nil)
+}
+
+// --- Ablations (DESIGN.md §5) ----------------------------------------
+
+func BenchmarkAblationPartitionSpace(b *testing.B) {
+	runExperiment(b, "ablation-partition", func(t []*harness.Table) (string, float64) {
+		return "10shape/4shape-insts", cellF(t, 0, 0, 2) / cellF(t, 0, 1, 2)
+	})
+}
+
+func BenchmarkAblationPredictorBudget(b *testing.B) {
+	runExperiment(b, "ablation-predictor", nil)
+}
+
+func BenchmarkAblationCacheGeometry(b *testing.B) {
+	runExperiment(b, "ablation-cache", nil)
+}
+
+func BenchmarkAblationMotionSearch(b *testing.B) {
+	runExperiment(b, "ablation-motion", nil)
+}
+
+// --- Kernel micro-benchmarks -----------------------------------------
+
+func benchClip(b *testing.B) *video.Clip {
+	b.Helper()
+	meta, err := video.LookupClip("game1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	clip, err := video.Generate(meta, video.GenerateOptions{Frames: 3, ScaleDiv: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return clip
+}
+
+func BenchmarkEncodeSVTAV1(b *testing.B) {
+	clip := benchClip(b)
+	enc := encoders.MustNew(encoders.SVTAV1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(clip, encoders.Options{CRF: 40, Preset: 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeX264(b *testing.B) {
+	clip := benchClip(b)
+	enc := encoders.MustNew(encoders.X264)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(clip, encoders.Options{CRF: 30, Preset: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTAGEPredict(b *testing.B) {
+	p, err := bpred.NewTAGE(64 << 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(0x400000 + (i%512)*16)
+		taken := i%3 != 0
+		p.Predict(pc)
+		p.Update(pc, taken)
+	}
+}
+
+func BenchmarkGsharePredict(b *testing.B) {
+	p, err := bpred.NewGshare(32 << 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(0x400000 + (i%512)*16)
+		p.Predict(pc)
+		p.Update(pc, i%3 != 0)
+	}
+}
+
+func BenchmarkCacheHierarchyAccess(b *testing.B) {
+	h, err := cache.NewXeonHierarchy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i%100000)*64, i%5 == 0)
+	}
+}
+
+func BenchmarkPipelineReplay(b *testing.B) {
+	sim, err := pipeline.New(pipeline.Broadwell())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := make([]trace.MicroOp, 100_000)
+	for i := range ops {
+		switch i % 5 {
+		case 0:
+			ops[i] = trace.MicroOp{PC: 0x400000, Class: trace.OpLoad, Addr: uint64(0x1000000 + i*8), Size: 8}
+		case 1, 2:
+			ops[i] = trace.MicroOp{PC: 0x400010, Class: trace.OpAVX}
+		case 3:
+			ops[i] = trace.MicroOp{PC: 0x400020, Class: trace.OpBranch, Taken: i%7 != 0}
+		default:
+			ops[i] = trace.MicroOp{PC: 0x400030, Class: trace.OpOther}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(ops)))
+}
+
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	runExperiment(b, "ablation-prefetch", nil)
+}

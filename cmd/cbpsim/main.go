@@ -1,0 +1,82 @@
+// Command cbpsim runs the Championship Branch Prediction evaluation on
+// recorded traces (from vencode -trace): every named predictor is
+// scored by miss rate and MPKI on each trace's conditional branches.
+//
+// Usage:
+//
+//	cbpsim game1.vctr hall.vctr
+//	cbpsim -predictors tage-8KB,perceptron-8KB -metric missrate game1.vctr
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vcprof/internal/cbp"
+	"vcprof/internal/trace"
+	"vcprof/internal/uarch/bpred"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cbpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		predictors = flag.String("predictors", strings.Join(bpred.PaperSet(), ","), "comma-separated predictor names")
+		metric     = flag.String("metric", "mpki", "table metric: mpki or missrate")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return fmt.Errorf("usage: cbpsim [flags] <trace-file>...")
+	}
+	var traces []cbp.Trace
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var branches []trace.MicroOp
+		var window uint64
+		switch {
+		case len(data) >= 4 && string(data[:4]) == "VCBR":
+			branches, window, err = trace.ReadBranchTrace(bytes.NewReader(data))
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+		default:
+			ops, err := trace.ReadTrace(bytes.NewReader(data))
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			for _, op := range ops {
+				if op.IsBranch() {
+					branches = append(branches, op)
+				}
+			}
+			window = uint64(len(ops))
+		}
+		if len(branches) == 0 {
+			return fmt.Errorf("%s: trace contains no branches", path)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		traces = append(traces, cbp.Trace{Name: name, Branches: branches, Instructions: window})
+	}
+	scores, err := cbp.Championship(strings.Split(*predictors, ","), traces)
+	if err != nil {
+		return err
+	}
+	tbl, err := cbp.Table(scores, *metric)
+	if err != nil {
+		return err
+	}
+	fmt.Print(tbl)
+	return nil
+}

@@ -1,0 +1,85 @@
+// Command repro regenerates the paper's tables and figures. Each
+// experiment prints one or more aligned text tables; -csv writes them as
+// CSV files instead.
+//
+// Usage:
+//
+//	repro -list                  # show all experiment IDs
+//	repro fig1 fig4              # run selected experiments
+//	repro -quick all             # everything at the fast scale
+//	repro -csv out/ fig8         # write CSVs to out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vcprof/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick  = flag.Bool("quick", false, "use the fast three-clip scale")
+		csvDir = flag.String("csv", "", "write CSV files into this directory instead of printing")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.List() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("no experiments given (use -list, or 'all')")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range harness.List() {
+			ids = append(ids, e.ID)
+		}
+	}
+	scale := harness.DefaultScale()
+	if *quick {
+		scale = harness.QuickScale()
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		e, err := harness.Lookup(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Title)
+		tables, err := e.Run(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for _, t := range tables {
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, t.ID+".csv")
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "  wrote %s\n", path)
+			} else {
+				fmt.Println(t.Render())
+			}
+		}
+	}
+	return nil
+}

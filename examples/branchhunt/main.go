@@ -1,0 +1,59 @@
+// Branchhunt reproduces the paper's branch-prediction study (§4.4,
+// Figs. 8–10) on one clip: record a micro-op window from halfway
+// through an SVT-AV1 encode, replay its branches through the CBP
+// framework with the four predictors of the paper (plus a perceptron as
+// a bonus), and replay the full window through the out-of-order core to
+// see how mispredictions turn into bad-speculation slots.
+//
+// Run with: go run ./examples/branchhunt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vcprof/internal/core"
+)
+
+func main() {
+	lab, err := core.NewLab(core.WithQuickScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		clip   = "hall" // the highest-entropy vbench clip
+		crf    = 63
+		preset = 8 // the paper's trace point for Fig. 8
+	)
+
+	preds := []string{"gshare-2KB", "gshare-32KB", "tage-8KB", "tage-64KB", "perceptron-8KB"}
+	scores, err := lab.BranchChampionship(clip, crf, preset, preds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CBP on %q (crf=%d preset=%d):\n", clip, crf, preset)
+	fmt.Printf("  %-16s %10s %8s\n", "predictor", "missrate", "mpki")
+	for _, s := range scores {
+		fmt.Printf("  %-16s %9.2f%% %8.3f\n", s.Predictor, s.MissRate*100, s.MPKI)
+	}
+
+	// Replay the same window through the core model to see the pipeline
+	// consequences.
+	rec, err := lab.RecordWindow(core.SVTAV1, clip, crf, preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := lab.ReplayPipeline(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npipeline replay of the same window (%d ops):\n", res.Ops)
+	fmt.Printf("  IPC %.2f, branch MPKI %.2f, L1D MPKI %.2f\n", res.IPC, res.BranchMPKI, res.L1DMPKI)
+	fmt.Printf("  slots: retiring %.1f%%  badspec %.1f%%  frontend %.1f%%  backend %.1f%%\n",
+		100*float64(res.RetiringSlots)/float64(res.TotalSlots),
+		100*float64(res.BadSpecSlots)/float64(res.TotalSlots),
+		100*float64(res.FrontendSlots)/float64(res.TotalSlots),
+		100*float64(res.BackendSlots)/float64(res.TotalSlots))
+	fmt.Println("\nconclusion (paper §4.4): bigger tables and TAGE over Gshare both cut")
+	fmt.Println("encoder branch misses — worth ~10% IPC on these workloads.")
+}

@@ -1,0 +1,70 @@
+// Codeccompare reproduces the paper's motivating observation (Fig. 1):
+// at equal quality targets, the AV1-family encoders execute an order of
+// magnitude more instructions than x264/x265/VP9 — and that, not
+// microarchitectural inefficiency, is where their runtime goes. It also
+// prints the RD side of the trade (Fig. 2a): SVT-AV1 buys the best
+// BD-Rate with those instructions.
+//
+// Run with: go run ./examples/codeccompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vcprof/internal/core"
+	"vcprof/internal/metrics"
+)
+
+func main() {
+	lab, err := core.NewLab(core.WithQuickScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const clip = "game1"
+	fams := []core.Family{core.X264, core.X265, core.VP9, core.Libaom, core.SVTAV1}
+
+	fmt.Printf("%-12s %10s %10s %8s %9s\n", "encoder", "insts(M)", "time(ms)", "psnr", "kbps")
+	type curve struct {
+		rd  metrics.RDCurve
+		sec float64
+	}
+	curves := map[core.Family]*curve{}
+	for _, fam := range fams {
+		enc, err := lab.Encoder(fam)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, crfHi := enc.CRFRange()
+		lo, hi, rev := enc.PresetRange()
+		preset := (lo + hi + 1) / 2
+		_ = rev
+		c := &curve{}
+		curves[fam] = c
+		for _, frac := range []int{10, 25, 40, 55} {
+			crf := frac * crfHi / 63
+			res, err := lab.Encode(fam, clip, crf, preset, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c.rd = append(c.rd, metrics.RDPoint{BitrateKbps: res.BitrateKbps, PSNR: res.PSNR})
+			c.sec += res.Wall.Seconds()
+			if frac == 25 {
+				fmt.Printf("%-12s %10.2f %10.2f %8.2f %9.1f\n",
+					fam, float64(res.Insts)/1e6, res.Wall.Seconds()*1000, res.PSNR, res.BitrateKbps)
+			}
+		}
+	}
+
+	fmt.Printf("\nBD-Rate vs x264 (negative = better compression at equal PSNR):\n")
+	for _, fam := range fams {
+		if fam == core.X264 {
+			continue
+		}
+		bd, err := metrics.BDRate(curves[core.X264].rd, curves[fam].rd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %+7.1f%%   (total encode time %.0f ms)\n", fam, bd, curves[fam].sec*1000)
+	}
+}

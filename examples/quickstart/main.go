@@ -1,0 +1,64 @@
+// Quickstart: encode one vbench clip with the SVT-AV1 model and look at
+// the workload the way the paper does — quality, rate, instruction mix,
+// perf-style counters, top-down breakdown and the hottest functions.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vcprof/internal/core"
+	"vcprof/internal/trace"
+)
+
+func main() {
+	lab, err := core.NewLab(core.WithQuickScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		clip   = "game1"
+		crf    = 35
+		preset = 4
+	)
+
+	// 1. A plain encode: quality, rate, speed.
+	res, err := lab.Encode(core.SVTAV1, clip, crf, preset, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SVT-AV1 on %q (crf=%d preset=%d)\n", clip, crf, preset)
+	fmt.Printf("  %.2f dB PSNR at %.1f kbps (%d bytes, %.1f ms)\n",
+		res.PSNR, res.BitrateKbps, res.Bytes, res.Wall.Seconds()*1000)
+	m := res.Mix
+	fmt.Printf("  mix: branch %.1f%%  load %.1f%%  store %.1f%%  avx %.1f%%  sse %.1f%%  other %.1f%%\n",
+		m.Percent(trace.OpBranch), m.Percent(trace.OpLoad), m.Percent(trace.OpStore),
+		m.Percent(trace.OpAVX), m.Percent(trace.OpSSE), m.Percent(trace.OpOther))
+
+	// 2. The perf-stat substitute: counters, IPC and top-down.
+	st, err := lab.Characterize(core.SVTAV1, clip, crf, preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nperf-style characterization\n")
+	fmt.Printf("  %d instructions, %d cycles, IPC %.2f\n", st.Instructions, st.Cycles, st.IPC)
+	fmt.Printf("  branch miss %.2f%% (%.2f MPKI); cache MPKI L1D %.2f / L2 %.2f / LLC %.3f\n",
+		st.BranchMissPct, st.BranchMPKI, st.L1DMPKI, st.L2MPKI, st.LLCMPKI)
+	fmt.Printf("  top-down: %s\n", st.TopDown)
+
+	// 3. The gprof substitute: where did the instructions go?
+	prof, err := lab.Profile(core.SVTAV1, clip, crf, preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhot functions\n")
+	for i, e := range prof.Flat() {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-28s %6.2f%%  (%d insts)\n", e.Name, e.Percent, e.Insts)
+	}
+}

@@ -1,0 +1,3 @@
+module vcprof
+
+go 1.22

@@ -1,0 +1,143 @@
+// Package cbp reimplements the Championship Branch Prediction (CBP-2016)
+// evaluation flow the paper uses in §4.4: branch traces recorded from
+// encoder runs are replayed through candidate predictors, and each
+// predictor is scored by miss rate and by MPKI relative to the full
+// instruction window the trace was cut from.
+package cbp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vcprof/internal/trace"
+	"vcprof/internal/uarch/bpred"
+)
+
+// Trace is one branch trace plus the size of the instruction window it
+// was recorded from (needed for MPKI).
+type Trace struct {
+	Name         string
+	Branches     []trace.MicroOp
+	Instructions uint64
+}
+
+// FromRecorder extracts a CBP trace from a recorded micro-op window.
+func FromRecorder(name string, rec *trace.Recorder) (Trace, error) {
+	if rec == nil {
+		return Trace{}, fmt.Errorf("cbp: nil recorder")
+	}
+	br := rec.Branches()
+	if len(br) == 0 {
+		return Trace{}, fmt.Errorf("cbp: window %q contains no branches", name)
+	}
+	n := uint64(len(rec.Ops))
+	if rec.Limit < n {
+		n = rec.Limit
+	}
+	return Trace{Name: name, Branches: br, Instructions: n}, nil
+}
+
+// Score is one predictor's result on one trace.
+type Score struct {
+	Predictor   string
+	Trace       string
+	Branches    uint64
+	Mispredicts uint64
+	MissRate    float64 // mispredicts per branch
+	MPKI        float64 // mispredicts per kilo-instruction
+}
+
+// Run replays one trace through one predictor (which is Reset first).
+func Run(p bpred.Predictor, tr Trace) (Score, error) {
+	if len(tr.Branches) == 0 {
+		return Score{}, fmt.Errorf("cbp: trace %q is empty", tr.Name)
+	}
+	if tr.Instructions == 0 {
+		return Score{}, fmt.Errorf("cbp: trace %q has no instruction window size", tr.Name)
+	}
+	p.Reset()
+	var miss uint64
+	for _, b := range tr.Branches {
+		if !b.IsBranch() {
+			return Score{}, fmt.Errorf("cbp: trace %q contains non-branch op class %v", tr.Name, b.Class)
+		}
+		if p.Predict(uint64(b.PC)) != b.Taken {
+			miss++
+		}
+		p.Update(uint64(b.PC), b.Taken)
+	}
+	n := uint64(len(tr.Branches))
+	return Score{
+		Predictor:   p.Name(),
+		Trace:       tr.Name,
+		Branches:    n,
+		Mispredicts: miss,
+		MissRate:    float64(miss) / float64(n),
+		MPKI:        float64(miss) / (float64(tr.Instructions) / 1000),
+	}, nil
+}
+
+// Championship evaluates every named predictor on every trace.
+func Championship(predictorNames []string, traces []Trace) ([]Score, error) {
+	var out []Score
+	for _, name := range predictorNames {
+		p, err := bpred.NewByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range traces {
+			s, err := Run(p, tr)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Table renders championship scores as an aligned text table grouped by
+// trace, the way Figs. 8–10 group bars per video.
+func Table(scores []Score, metric string) (string, error) {
+	if len(scores) == 0 {
+		return "", fmt.Errorf("cbp: no scores")
+	}
+	var traces, preds []string
+	seenT := map[string]bool{}
+	seenP := map[string]bool{}
+	val := map[[2]string]float64{}
+	for _, s := range scores {
+		if !seenT[s.Trace] {
+			seenT[s.Trace] = true
+			traces = append(traces, s.Trace)
+		}
+		if !seenP[s.Predictor] {
+			seenP[s.Predictor] = true
+			preds = append(preds, s.Predictor)
+		}
+		switch metric {
+		case "mpki":
+			val[[2]string{s.Trace, s.Predictor}] = s.MPKI
+		case "missrate":
+			val[[2]string{s.Trace, s.Predictor}] = s.MissRate * 100
+		default:
+			return "", fmt.Errorf("cbp: unknown metric %q", metric)
+		}
+	}
+	sort.Strings(traces)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "trace")
+	for _, p := range preds {
+		fmt.Fprintf(&b, " %14s", p)
+	}
+	b.WriteString("\n")
+	for _, tr := range traces {
+		fmt.Fprintf(&b, "%-14s", tr)
+		for _, p := range preds {
+			fmt.Fprintf(&b, " %14.3f", val[[2]string{tr, p}])
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,232 @@
+// Package entropy implements the adaptive binary range coder used by the
+// encoder models, patterned after the VP8/VP9 boolean coder that AV1's
+// multi-symbol coder descends from. Probabilities adapt per coded bit,
+// so the coder's control flow — the branch on each coded bit — is
+// genuinely data-dependent, which is exactly the branch behaviour the
+// paper's CBP study measures on encoder traces.
+package entropy
+
+import (
+	"errors"
+	"math/bits"
+
+	"vcprof/internal/trace"
+)
+
+// Prob is the probability (out of 256) that the next bit is zero.
+type Prob uint8
+
+// DefaultProb is the uninformed prior.
+const DefaultProb Prob = 128
+
+// Adapt moves the probability toward the observed bit with a 1/32 step,
+// the backward-adaptation scheme used by VP9-era coders.
+func (p Prob) Adapt(bit int) Prob {
+	if bit == 0 {
+		return p + (255-p)>>5
+	}
+	return p - p>>5
+}
+
+var (
+	pcBitBranch = trace.Site("entropy.Bool/bitsplit")
+	pcCarry     = trace.Site("entropy.Bool/carry")
+	pcByteOut   = trace.Site("entropy.Bool/byteout")
+)
+
+// The boolean coder is inlined at every syntax-coding call site in a
+// production encoder, so the hot "split" branch exists as many static
+// branches. Callers select the active call site with SetSite.
+
+// Encoder is a binary range encoder (VP8 boolean-coder algorithm)
+// writing to an in-memory buffer.
+type Encoder struct {
+	low    uint32
+	rng    uint32 // 128..255 between symbols
+	count  int
+	out    []byte
+	tc     *trace.Ctx
+	vbase  uint64
+	site   trace.PC
+	closed bool
+}
+
+// NewEncoder returns an encoder reporting instrumentation to tc (which
+// may be nil). vbase is the virtual address of the output bitstream
+// buffer for cache modeling.
+func NewEncoder(tc *trace.Ctx, vbase uint64) *Encoder {
+	return &Encoder{rng: 255, count: -24, tc: tc, vbase: vbase, site: pcBitBranch}
+}
+
+// SetCtx redirects instrumentation to another context. Schedulers that
+// move an in-progress entropy partition between workers (x264's
+// frame-row tasks) retarget the coder at each task boundary.
+func (e *Encoder) SetCtx(tc *trace.Ctx) { e.tc = tc }
+
+// SetSite selects the static call site subsequent bits are attributed
+// to (the inlined copy of the coder in the caller), restoring the
+// per-syntax-element branch identity real binaries have. A zero pc
+// resets to the generic site.
+func (e *Encoder) SetSite(pc trace.PC) {
+	if pc == 0 {
+		e.site = pcBitBranch
+		return
+	}
+	e.site = pc
+}
+
+// Bit encodes one bit with probability p that the bit is zero.
+func (e *Encoder) Bit(bit int, p Prob) {
+	split := 1 + (((e.rng - 1) * uint32(p)) >> 8)
+	// The split comparison is the canonical data-dependent branch of a
+	// range coder: its direction is the coded bit itself.
+	e.tc.Branch(e.site, bit != 0)
+	e.tc.Loads(e.site, trace.ScratchBase+0x4000, 1, 8, 2)
+	e.tc.Stores(e.site, trace.ScratchBase+0x4000, 1, 8, 2) // context adaptation writeback
+	e.tc.Op(trace.OpOther, 6)                              // split mul/shift/add, interval update
+	if bit != 0 {
+		e.low += split
+		e.rng -= split
+	} else {
+		e.rng = split
+	}
+	shift := bits.LeadingZeros8(uint8(e.rng))
+	e.rng <<= uint(shift)
+	e.count += shift
+	if e.count >= 0 {
+		offset := shift - e.count
+		if (e.low<<uint(offset-1))&0x80000000 != 0 {
+			// Carry propagation into already-emitted bytes.
+			e.tc.Branch(pcCarry, true)
+			i := len(e.out) - 1
+			for i >= 0 && e.out[i] == 0xFF {
+				e.out[i] = 0
+				i--
+			}
+			if i >= 0 {
+				e.out[i]++
+			}
+		} else {
+			e.tc.Branch(pcCarry, false)
+		}
+		e.out = append(e.out, byte(e.low>>uint(24-offset)))
+		e.tc.Stores(pcByteOut, e.vbase+uint64(len(e.out)-1), 1, 1, 1)
+		e.low <<= uint(offset)
+		shift = e.count
+		e.low &= 0xFFFFFF
+		e.count -= 8
+	}
+	e.low <<= uint(shift)
+}
+
+// BitAdaptive encodes a bit against a context probability and adapts it.
+func (e *Encoder) BitAdaptive(bit int, p *Prob) {
+	e.Bit(bit, *p)
+	*p = p.Adapt(bit)
+}
+
+// Literal encodes an n-bit value MSB-first with flat probability.
+func (e *Encoder) Literal(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		e.Bit(int(v>>uint(i))&1, DefaultProb)
+	}
+}
+
+// Finish flushes the encoder and returns the complete bitstream. It is
+// idempotent; no bits may be encoded after the first call.
+func (e *Encoder) Finish() []byte {
+	if !e.closed {
+		for i := 0; i < 32; i++ {
+			e.Bit(0, DefaultProb)
+		}
+		e.closed = true
+	}
+	return e.out
+}
+
+// Len returns the current output length in bytes (without flush bits).
+func (e *Encoder) Len() int { return len(e.out) }
+
+// ErrTruncated is returned when the decoder reads past the bitstream.
+var ErrTruncated = errors.New("entropy: bitstream truncated")
+
+// Decoder is the matching binary range decoder.
+type Decoder struct {
+	buf      []byte
+	pos      int
+	value    uint32
+	rng      uint32
+	count    int
+	overread int
+}
+
+// NewDecoder reads a bitstream produced by Encoder.
+func NewDecoder(buf []byte) *Decoder {
+	d := &Decoder{buf: buf, rng: 255, count: -8}
+	d.fill()
+	return d
+}
+
+func (d *Decoder) fill() {
+	shift := 32 - 8 - (d.count + 8)
+	for shift >= 0 {
+		var b byte
+		if d.pos < len(d.buf) {
+			b = d.buf[d.pos]
+			d.pos++
+		} else {
+			d.overread++
+		}
+		d.count += 8
+		d.value |= uint32(b) << uint(shift)
+		shift -= 8
+	}
+}
+
+// Bit decodes one bit with probability p that the bit is zero.
+func (d *Decoder) Bit(p Prob) int {
+	split := 1 + (((d.rng - 1) * uint32(p)) >> 8)
+	bigSplit := split << 24
+	var bit int
+	if d.value >= bigSplit {
+		bit = 1
+		d.value -= bigSplit
+		d.rng -= split
+	} else {
+		d.rng = split
+	}
+	shift := bits.LeadingZeros8(uint8(d.rng))
+	d.rng <<= uint(shift)
+	d.value <<= uint(shift)
+	d.count -= shift
+	if d.count < 0 {
+		d.fill()
+	}
+	return bit
+}
+
+// BitAdaptive decodes a bit against a context probability and adapts it
+// identically to the encoder side.
+func (d *Decoder) BitAdaptive(p *Prob) int {
+	bit := d.Bit(*p)
+	*p = p.Adapt(bit)
+	return bit
+}
+
+// Literal decodes an n-bit value MSB-first.
+func (d *Decoder) Literal(n int) uint32 {
+	var v uint32
+	for i := 0; i < n; i++ {
+		v = v<<1 | uint32(d.Bit(DefaultProb))
+	}
+	return v
+}
+
+// Err reports whether the decoder has consumed meaningfully past the end
+// of the stream (more than the encoder's flush slack).
+func (d *Decoder) Err() error {
+	if d.overread > 4 {
+		return ErrTruncated
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package entropy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vcprof/internal/trace"
+)
+
+func TestRoundTripFixedProb(t *testing.T) {
+	bitsIn := []int{1, 0, 1, 1, 0, 0, 0, 1, 1, 1, 0, 1, 0, 0, 1}
+	e := NewEncoder(nil, 0)
+	for _, b := range bitsIn {
+		e.Bit(b, 200)
+	}
+	stream := e.Finish()
+	d := NewDecoder(stream)
+	for i, want := range bitsIn {
+		if got := d.Bit(200); got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripAdaptive(t *testing.T) {
+	// A biased source: adaptive probabilities must converge and the
+	// decoder must track the encoder's adaptation exactly.
+	var bitsIn []int
+	for i := 0; i < 500; i++ {
+		b := 0
+		if i%7 == 0 {
+			b = 1
+		}
+		bitsIn = append(bitsIn, b)
+	}
+	e := NewEncoder(nil, 0)
+	pe := DefaultProb
+	for _, b := range bitsIn {
+		e.BitAdaptive(b, &pe)
+	}
+	stream := e.Finish()
+	d := NewDecoder(stream)
+	pd := DefaultProb
+	for i, want := range bitsIn {
+		if got := d.BitAdaptive(&pd); got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+	if pe != pd {
+		t.Errorf("encoder prob %d != decoder prob %d after identical adaptation", pe, pd)
+	}
+}
+
+func TestRoundTripLiterals(t *testing.T) {
+	vals := []struct {
+		v uint32
+		n int
+	}{{0, 1}, {1, 1}, {5, 3}, {255, 8}, {1023, 10}, {0xABCD, 16}}
+	e := NewEncoder(nil, 0)
+	for _, x := range vals {
+		e.Literal(x.v, x.n)
+	}
+	d := NewDecoder(e.Finish())
+	for i, x := range vals {
+		if got := d.Literal(x.n); got != x.v {
+			t.Fatalf("literal %d = %d, want %d", i, got, x.v)
+		}
+	}
+}
+
+func TestRoundTripRandomQuick(t *testing.T) {
+	f := func(data []byte, probSeed uint8) bool {
+		if len(data) > 2000 {
+			data = data[:2000]
+		}
+		p := Prob(probSeed)
+		if p < 1 {
+			p = 1
+		}
+		e := NewEncoder(nil, 0)
+		for _, by := range data {
+			for k := 0; k < 8; k++ {
+				e.Bit(int(by>>uint(k))&1, p)
+			}
+		}
+		d := NewDecoder(e.Finish())
+		for _, by := range data {
+			for k := 0; k < 8; k++ {
+				if d.Bit(p) != int(by>>uint(k))&1 {
+					return false
+				}
+			}
+		}
+		return d.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCarryPropagation(t *testing.T) {
+	// Encoding long runs of 1s at a probability heavily favouring 0
+	// forces low-interval additions and eventually carries.
+	e := NewEncoder(nil, 0)
+	for i := 0; i < 4000; i++ {
+		e.Bit(1, 250)
+	}
+	d := NewDecoder(e.Finish())
+	for i := 0; i < 4000; i++ {
+		if d.Bit(250) != 1 {
+			t.Fatalf("bit %d decoded wrong after carry-heavy stream", i)
+		}
+	}
+}
+
+func TestCompressionBeatsRawForBiasedSource(t *testing.T) {
+	// 8000 highly predictable bits must compress far below 1000 bytes.
+	e := NewEncoder(nil, 0)
+	p := DefaultProb
+	for i := 0; i < 8000; i++ {
+		e.BitAdaptive(0, &p)
+	}
+	stream := e.Finish()
+	if len(stream) > 200 {
+		t.Errorf("biased stream encoded to %d bytes, want strong compression (<200)", len(stream))
+	}
+	// Incompressible alternating bits should stay near 1 bit/bit.
+	e2 := NewEncoder(nil, 0)
+	for i := 0; i < 8000; i++ {
+		e2.Bit(i&1, DefaultProb)
+	}
+	if got := len(e2.Finish()); got < 950 {
+		t.Errorf("random-ish stream encoded to %d bytes, implausibly small", got)
+	}
+}
+
+func TestAdaptMovesTowardObservedBit(t *testing.T) {
+	p := Prob(128)
+	if q := p.Adapt(0); q <= p {
+		t.Errorf("Adapt(0) = %d, want > %d", q, p)
+	}
+	if q := p.Adapt(1); q >= p {
+		t.Errorf("Adapt(1) = %d, want < %d", q, p)
+	}
+	// Saturation: repeated adaptation stays within [1, 255] and keeps
+	// round-trip consistency (no wrap to 0).
+	p = 255
+	for i := 0; i < 100; i++ {
+		p = p.Adapt(0)
+	}
+	if p < 200 {
+		t.Errorf("prob collapsed to %d after consistent zeros", p)
+	}
+	p = 1
+	for i := 0; i < 100; i++ {
+		p = p.Adapt(1)
+	}
+	if p > 50 {
+		t.Errorf("prob stuck high: %d after consistent ones", p)
+	}
+}
+
+func TestEncoderInstrumentation(t *testing.T) {
+	tc := trace.New()
+	e := NewEncoder(tc, 0x9000)
+	for i := 0; i < 100; i++ {
+		e.Bit(i&1, 128)
+	}
+	if tc.Mix[trace.OpBranch] == 0 {
+		t.Error("encoder emitted no branch events")
+	}
+	if tc.Mix[trace.OpOther] == 0 {
+		t.Error("encoder emitted no scalar ops")
+	}
+	_ = e.Finish()
+	if tc.Mix[trace.OpStore] == 0 {
+		t.Error("encoder emitted no byte-out stores")
+	}
+}
+
+func TestDecoderTruncatedStream(t *testing.T) {
+	e := NewEncoder(nil, 0)
+	for i := 0; i < 800; i++ {
+		e.Bit(i%3&1, 128)
+	}
+	stream := e.Finish()
+	d := NewDecoder(stream[:4])
+	for i := 0; i < 800; i++ {
+		d.Bit(128)
+	}
+	if d.Err() == nil {
+		t.Error("decoder did not flag overread of truncated stream")
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	e := NewEncoder(nil, 0)
+	e.Bit(1, 128)
+	a := e.Finish()
+	b := e.Finish()
+	if len(a) != len(b) {
+		t.Errorf("second Finish changed stream length: %d vs %d", len(a), len(b))
+	}
+	if e.Len() != len(a) {
+		t.Errorf("Len = %d, want %d", e.Len(), len(a))
+	}
+}

@@ -1,0 +1,93 @@
+package intra
+
+import (
+	"fmt"
+
+	"vcprof/internal/trace"
+)
+
+// NumAngles is the number of synthetic angular refinements available
+// beyond the four base modes. Newer codec generations evaluate more of
+// them, widening the intra search space the way AV1's 56 angle variants
+// widen it over H.264's 9 modes.
+const NumAngles = 8
+
+// Angular returns the i-th angular mode (0 <= i < NumAngles).
+func Angular(i int) Mode {
+	if i < 0 || i >= NumAngles {
+		return NumModes // invalid; Predict rejects it
+	}
+	return NumModes + Mode(i)
+}
+
+// IsAngular reports whether m is an angular mode.
+func IsAngular(m Mode) bool { return m >= NumModes && m < NumModes+NumAngles }
+
+// angularParams maps an angular mode to its extrapolation: vertical-ish
+// modes project from the top border with horizontal slope dx/32 per row;
+// horizontal-ish modes project from the left border.
+var angularParams = [NumAngles]struct {
+	vertical bool
+	slope    int // in 1/32 pel per line, signed
+}{
+	{true, 16},   // down-right from top
+	{true, -16},  // down-left from top
+	{false, 16},  // right-down from left
+	{false, -16}, // right-up from left
+	{true, 8},
+	{true, -8},
+	{false, 8},
+	{false, -8},
+}
+
+var pcAngRow = trace.Site("intra.PredictAngular/rowloop")
+
+// predictAngular fills dst with a directional extrapolation of one
+// border. Border indices that fall outside are clamped, matching codec
+// border extension.
+func predictAngular(tc *trace.Ctx, m Mode, nb Neighbors, n int, dst []byte) error {
+	p := angularParams[m-NumModes]
+	if p.vertical && !nb.HasTop || !p.vertical && !nb.HasLeft {
+		// Missing border: fall back to DC-style flat prediction.
+		for i := 0; i < n*n; i++ {
+			dst[i] = 128
+		}
+		tc.Op(trace.OpAVX, n*n/16+1)
+		tc.Loop(pcAngRow, n)
+		return nil
+	}
+	clamp := func(i int) int {
+		if i < 0 {
+			return 0
+		}
+		if i >= n {
+			return n - 1
+		}
+		return i
+	}
+	if p.vertical {
+		for y := 0; y < n; y++ {
+			off := (y + 1) * p.slope / 32
+			for x := 0; x < n; x++ {
+				dst[y*n+x] = nb.Top[clamp(x+off)]
+			}
+		}
+	} else {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				off := (x + 1) * p.slope / 32
+				dst[y*n+x] = nb.Left[clamp(y+off)]
+			}
+		}
+	}
+	tc.Op(trace.OpAVX, n*n/8+2)
+	tc.Loop(pcAngRow, n)
+	return nil
+}
+
+func validAngular(m Mode) error {
+	if !IsAngular(m) {
+		return fmt.Errorf("intra: mode %d is not angular", m)
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+// Package motion implements block motion estimation: the SAD kernel and
+// three search strategies (full, diamond, hexagon) over a reference
+// surface. Search-strategy choice and range are preset knobs in the
+// encoder models; the compare-and-update branches in the search loops
+// are among the data-dependent branches the paper's CBP study exercises.
+package motion
+
+import (
+	"fmt"
+
+	"vcprof/internal/codec"
+	"vcprof/internal/trace"
+)
+
+// Sites are specialized per block-size class, mirroring the per-size
+// kernel specializations (sad8x8, sad16x16, …) of production encoders.
+var (
+	pcSADRow   = trace.Sites("motion.SAD/rowloop", 36)
+	pcSADLoad  = trace.Sites("motion.SAD/refload", 36)
+	pcSADCur   = trace.Sites("motion.SAD/curload", 36)
+	pcBetter   = trace.Sites("motion.Search/better", 3)
+	pcCandLoop = trace.Site("motion.Search/candloop")
+	pcRefine   = trace.Sites("motion.Search/refineloop", 3)
+	fnSAD      = trace.Func("motion.SAD")
+	fnSearch   = trace.Func("motion.Search")
+)
+
+// sizeClass maps a dimension to {4,8,16,32,64,other} → 0..5.
+func sizeClass(v int) int {
+	switch {
+	case v <= 4:
+		return 0
+	case v <= 8:
+		return 1
+	case v <= 16:
+		return 2
+	case v <= 32:
+		return 3
+	case v <= 64:
+		return 4
+	}
+	return 5
+}
+
+func sadSite(w, h int) int { return sizeClass(w)*6 + sizeClass(h) }
+
+// SAD returns the sum of absolute differences between the w×h block at
+// (cx, cy) in cur and the block at (rx, ry) in ref. Both blocks must be
+// fully inside their surfaces.
+func SAD(tc *trace.Ctx, cur codec.Surface, cx, cy int, ref codec.Surface, rx, ry, w, h int) (int32, error) {
+	if cx < 0 || cy < 0 || cx+w > cur.W || cy+h > cur.H {
+		return 0, fmt.Errorf("motion: current block %d,%d %dx%d outside %dx%d", cx, cy, w, h, cur.W, cur.H)
+	}
+	if rx < 0 || ry < 0 || rx+w > ref.W || ry+h > ref.H {
+		return 0, fmt.Errorf("motion: reference block %d,%d %dx%d outside %dx%d", rx, ry, w, h, ref.W, ref.H)
+	}
+	tc.Enter(fnSAD)
+	var sum int32
+	for j := 0; j < h; j++ {
+		crow := cur.Pix[(cy+j)*cur.Stride+cx:]
+		rrow := ref.Pix[(ry+j)*ref.Stride+rx:]
+		for i := 0; i < w; i++ {
+			d := int32(crow[i]) - int32(rrow[i])
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	if tc != nil {
+		// Vectorized psadbw-style kernel. Memory traffic is reported at
+		// 8-byte granularity (the scalar/SSE-width mixture Pin sees);
+		// arithmetic as one abs-diff-accumulate per 16 samples, SSE-width
+		// for narrow blocks; the row loop is 4x unrolled.
+		sc := sadSite(w, h)
+		vec := (w + 15) / 16
+		tc.Loads(pcSADCur[sc], cur.VAddr(cx, cy), h*vec, cur.Stride, 16)
+		tc.Loads(pcSADLoad[sc], ref.VAddr(rx, ry), h*vec, ref.Stride, 16)
+		class := trace.OpAVX
+		if w <= 8 {
+			class = trace.OpSSE
+		}
+		tc.Op(class, h*((w+15)/16)+h/4+1)
+		tc.Op(trace.OpOther, h/2+2)
+		tc.Loop(pcSADRow[sc], (h+3)/4)
+	}
+	tc.Leave()
+	return sum, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Result reports the outcome of a motion search.
+type Result struct {
+	MV     codec.MV
+	Cost   int32
+	Points int // candidate positions evaluated
+}
+
+// Algorithm selects a search strategy.
+type Algorithm uint8
+
+// Search strategies from cheapest to most exhaustive.
+const (
+	Hex Algorithm = iota
+	Diamond
+	Full
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Hex:
+		return "hex"
+	case Diamond:
+		return "diamond"
+	case Full:
+		return "full"
+	}
+	return "?"
+}
+
+// Search finds the motion vector minimizing SAD for the w×h block at
+// (bx, by) in cur against ref, constrained to |mv| <= rng and to
+// in-frame positions. pred seeds the search (the MV predictor from
+// neighbouring blocks).
+func Search(tc *trace.Ctx, alg Algorithm, cur codec.Surface, bx, by int, ref codec.Surface, w, h, rng int, pred codec.MV) (Result, error) {
+	if rng < 1 {
+		return Result{}, fmt.Errorf("motion: invalid search range %d", rng)
+	}
+	tc.Enter(fnSearch)
+	defer tc.Leave()
+
+	clampMV := func(mv codec.MV) codec.MV {
+		x, y := int(mv.X), int(mv.Y)
+		if x < -rng {
+			x = -rng
+		} else if x > rng {
+			x = rng
+		}
+		if y < -rng {
+			y = -rng
+		} else if y > rng {
+			y = rng
+		}
+		if bx+x < 0 {
+			x = -bx
+		}
+		if by+y < 0 {
+			y = -by
+		}
+		if bx+x+w > ref.W {
+			x = ref.W - w - bx
+		}
+		if by+y+h > ref.H {
+			y = ref.H - h - by
+		}
+		return codec.MV{X: int16(x), Y: int16(y)}
+	}
+
+	best := Result{Cost: 1 << 30}
+	tried := make(map[codec.MV]bool)
+	eval := func(mv codec.MV) error {
+		mv = clampMV(mv)
+		if tried[mv] {
+			return nil
+		}
+		tried[mv] = true
+		cost, err := SAD(tc, cur, bx, by, ref, bx+int(mv.X), by+int(mv.Y), w, h)
+		if err != nil {
+			return err
+		}
+		best.Points++
+		// The improvement test: genuinely data-dependent direction.
+		better := cost < best.Cost
+		tc.Branch(pcBetter[int(alg)%3], better)
+		tc.Op(trace.OpOther, 9) // candidate bookkeeping, clamp, cost update
+		tc.Stores(pcBetter[int(alg)%3], trace.ScratchBase+0x7000, 1, 8, 8)
+		if better {
+			best.Cost = cost
+			best.MV = mv
+		}
+		return nil
+	}
+
+	if err := eval(clampMV(pred)); err != nil {
+		return Result{}, err
+	}
+	if err := eval(codec.MV{}); err != nil {
+		return Result{}, err
+	}
+
+	switch alg {
+	case Full:
+		for dy := -rng; dy <= rng; dy++ {
+			for dx := -rng; dx <= rng; dx++ {
+				if err := eval(codec.MV{X: int16(dx), Y: int16(dy)}); err != nil {
+					return Result{}, err
+				}
+			}
+			tc.Loop(pcCandLoop, 2*rng+1)
+		}
+	case Diamond:
+		if err := patternSearch(tc, alg, eval, &best, largeDiamond[:], smallDiamond[:], rng); err != nil {
+			return Result{}, err
+		}
+	case Hex:
+		if err := patternSearch(tc, alg, eval, &best, hexagon[:], smallDiamond[:], rng); err != nil {
+			return Result{}, err
+		}
+	default:
+		return Result{}, fmt.Errorf("motion: unknown algorithm %d", alg)
+	}
+	return best, nil
+}
+
+var (
+	largeDiamond = [8]codec.MV{{X: 0, Y: -2}, {X: 1, Y: -1}, {X: 2, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 2}, {X: -1, Y: 1}, {X: -2, Y: 0}, {X: -1, Y: -1}}
+	hexagon      = [6]codec.MV{{X: -2, Y: 0}, {X: -1, Y: -2}, {X: 1, Y: -2}, {X: 2, Y: 0}, {X: 1, Y: 2}, {X: -1, Y: 2}}
+	smallDiamond = [4]codec.MV{{X: 0, Y: -1}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: -1, Y: 0}}
+)
+
+// patternSearch iterates a coarse pattern around the best point until no
+// candidate improves, then refines with a fine pattern, the classic
+// EPZS/hex structure. Iterations are bounded by the search range.
+func patternSearch(tc *trace.Ctx, alg Algorithm, eval func(codec.MV) error, best *Result, coarse, fine []codec.MV, rng int) error {
+	for iter := 0; iter < rng; iter++ {
+		center := best.MV
+		prevCost := best.Cost
+		for _, d := range coarse {
+			if err := eval(center.Add(d)); err != nil {
+				return err
+			}
+		}
+		improved := best.Cost < prevCost
+		tc.Branch(pcRefine[int(alg)%3], improved)
+		if !improved {
+			break
+		}
+	}
+	for iter := 0; iter < rng; iter++ {
+		center := best.MV
+		prevCost := best.Cost
+		for _, d := range fine {
+			if err := eval(center.Add(d)); err != nil {
+				return err
+			}
+		}
+		improved := best.Cost < prevCost
+		tc.Branch(pcRefine[int(alg)%3], improved)
+		if !improved {
+			break
+		}
+	}
+	return nil
+}

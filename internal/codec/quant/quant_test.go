@@ -1,0 +1,162 @@
+package quant
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vcprof/internal/trace"
+)
+
+func TestStepSizeMonotone(t *testing.T) {
+	prev := 0.0
+	for qi := 0; qi <= MaxQIndex; qi++ {
+		s, err := StepSize(qi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s <= prev {
+			t.Fatalf("StepSize(%d) = %v not greater than StepSize(%d) = %v", qi, s, qi-1, prev)
+		}
+		prev = s
+	}
+	// Doubling every 24 points.
+	a, _ := StepSize(48)
+	b, _ := StepSize(72)
+	if ratio := b / a; ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("step ratio over 24 points = %v, want 2", ratio)
+	}
+	if _, err := StepSize(-1); err == nil {
+		t.Error("StepSize(-1) accepted")
+	}
+	if _, err := StepSize(256); err == nil {
+		t.Error("StepSize(256) accepted")
+	}
+}
+
+func TestQuantizeRoundTripErrorBounded(t *testing.T) {
+	f := func(seed int64, qiRaw uint8) bool {
+		qi := int(qiRaw)
+		step, err := StepSize(qi)
+		if err != nil {
+			return false
+		}
+		coefs := make([]int32, 64)
+		s := uint64(seed)
+		for i := range coefs {
+			s = s*6364136223846793005 + 1442695040888963407
+			coefs[i] = int32(s%2001) - 1000
+		}
+		levels := make([]int32, 64)
+		if _, err := Quantize(nil, coefs, qi, levels); err != nil {
+			return false
+		}
+		rec := make([]int32, 64)
+		if err := Dequantize(nil, levels, qi, rec); err != nil {
+			return false
+		}
+		// Reconstruction error bounded by ~one step (dead zone widens the
+		// zero bin slightly; allow 1.25 steps + fixed-point slack).
+		for i := range coefs {
+			d := float64(coefs[i] - rec[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > 1.25*step+2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeSparsityGrowsWithQIndex(t *testing.T) {
+	coefs := make([]int32, 256)
+	for i := range coefs {
+		coefs[i] = int32((i%41 - 20) * 3)
+	}
+	levels := make([]int32, 256)
+	nzLow, err := Quantize(nil, coefs, 20, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nzHigh, err := Quantize(nil, coefs, 200, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nzHigh >= nzLow {
+		t.Errorf("nonzero at qindex 200 (%d) not below qindex 20 (%d)", nzHigh, nzLow)
+	}
+	if nzLow == 0 {
+		t.Error("low qindex quantized everything to zero")
+	}
+}
+
+func TestQuantizeZeroAtHugeStep(t *testing.T) {
+	coefs := []int32{1, -1, 2, -2}
+	levels := make([]int32, 4)
+	nz, err := Quantize(nil, coefs, MaxQIndex, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nz != 0 {
+		t.Errorf("tiny coefficients at max qindex: nonzero = %d, want 0", nz)
+	}
+}
+
+func TestQuantizePreservesSign(t *testing.T) {
+	coefs := []int32{500, -500, 300, -300}
+	levels := make([]int32, 4)
+	if _, err := Quantize(nil, coefs, 60, levels); err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range levels {
+		if (coefs[i] > 0 && l < 0) || (coefs[i] < 0 && l > 0) {
+			t.Errorf("level[%d] = %d has wrong sign for coef %d", i, l, coefs[i])
+		}
+		if l == 0 {
+			t.Errorf("level[%d] = 0 for large coef %d at moderate qindex", i, coefs[i])
+		}
+	}
+}
+
+func TestQuantizeValidation(t *testing.T) {
+	if _, err := Quantize(nil, make([]int32, 4), 10, make([]int32, 3)); err == nil {
+		t.Error("Quantize accepted mismatched lengths")
+	}
+	if _, err := Quantize(nil, make([]int32, 4), 999, make([]int32, 4)); err == nil {
+		t.Error("Quantize accepted invalid qindex")
+	}
+	if err := Dequantize(nil, make([]int32, 4), 10, make([]int32, 5)); err == nil {
+		t.Error("Dequantize accepted mismatched lengths")
+	}
+	if err := Dequantize(nil, make([]int32, 4), -5, make([]int32, 4)); err == nil {
+		t.Error("Dequantize accepted invalid qindex")
+	}
+}
+
+func TestQuantizeInstrumentation(t *testing.T) {
+	tc := trace.New()
+	coefs := make([]int32, 64)
+	for i := range coefs {
+		coefs[i] = int32(i * 7 % 100)
+	}
+	levels := make([]int32, 64)
+	if _, err := Quantize(tc, coefs, 80, levels); err != nil {
+		t.Fatal(err)
+	}
+	// A production quantizer is vectorized and branch-light: vector work
+	// plus memory traffic, with only the coded-flag branch and loop
+	// control — not one branch per coefficient.
+	if tc.Mix[trace.OpAVX] == 0 {
+		t.Error("quantizer reported no vector work")
+	}
+	if tc.Mix[trace.OpLoad] == 0 || tc.Mix[trace.OpStore] == 0 {
+		t.Error("quantizer reported no memory traffic")
+	}
+	if tc.Mix[trace.OpBranch] > uint64(len(coefs)/4) {
+		t.Errorf("quantizer emitted %d branches for %d coefs; must be branch-light", tc.Mix[trace.OpBranch], len(coefs))
+	}
+}

@@ -1,0 +1,183 @@
+package transform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vcprof/internal/trace"
+)
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		src := make([]int32, n*n)
+		for i := range src {
+			src[i] = int32((i*37)%511 - 255) // residual-range values
+		}
+		coef := make([]int32, n*n)
+		if err := Forward(nil, src, n, coef); err != nil {
+			t.Fatalf("Forward(%d): %v", n, err)
+		}
+		rec := make([]int32, n*n)
+		if err := Inverse(nil, coef, n, rec); err != nil {
+			t.Fatalf("Inverse(%d): %v", n, err)
+		}
+		for i := range src {
+			if d := rec[i] - src[i]; d < -1 || d > 1 {
+				t.Fatalf("n=%d sample %d: roundtrip %d vs %d (err %d)", n, i, rec[i], src[i], d)
+			}
+		}
+	}
+}
+
+func TestForwardDCOnly(t *testing.T) {
+	// A constant block transforms to a single DC coefficient.
+	n := 8
+	src := make([]int32, n*n)
+	for i := range src {
+		src[i] = 100
+	}
+	coef := make([]int32, n*n)
+	if err := Forward(nil, src, n, coef); err != nil {
+		t.Fatal(err)
+	}
+	wantDC := int32(math.Round(100 * float64(n))) // orthonormal: DC = mean·N
+	if coef[0] != wantDC {
+		t.Errorf("DC = %d, want %d", coef[0], wantDC)
+	}
+	for i := 1; i < n*n; i++ {
+		if coef[i] != 0 {
+			t.Errorf("AC coef %d = %d, want 0", i, coef[i])
+		}
+	}
+}
+
+func TestForwardEnergyPreservation(t *testing.T) {
+	// Orthonormal transform preserves L2 energy (Parseval) within
+	// rounding error.
+	f := func(seed int64) bool {
+		n := 8
+		src := make([]int32, n*n)
+		s := uint64(seed)
+		for i := range src {
+			s = s*6364136223846793005 + 1442695040888963407
+			src[i] = int32(s%401) - 200
+		}
+		coef := make([]int32, n*n)
+		if err := Forward(nil, src, n, coef); err != nil {
+			return false
+		}
+		var e1, e2 float64
+		for i := range src {
+			e1 += float64(src[i]) * float64(src[i])
+			e2 += float64(coef[i]) * float64(coef[i])
+		}
+		if e1 == 0 {
+			return e2 < float64(n*n)
+		}
+		ratio := e2 / e1
+		return ratio > 0.98 && ratio < 1.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformSizeValidation(t *testing.T) {
+	buf := make([]int32, 36)
+	if err := Forward(nil, buf, 6, buf); err == nil {
+		t.Error("Forward accepted size 6")
+	}
+	if err := Inverse(nil, buf, 5, buf); err == nil {
+		t.Error("Inverse accepted size 5")
+	}
+}
+
+func TestSATDZeroResidual(t *testing.T) {
+	res := make([]int32, 64)
+	got, err := SATD(nil, res, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("SATD of zero residual = %d, want 0", got)
+	}
+}
+
+func TestSATDMonotoneInMagnitude(t *testing.T) {
+	mk := func(amp int32) int32 {
+		res := make([]int32, 64)
+		for i := range res {
+			sign := int32(1)
+			if i%3 == 0 {
+				sign = -1
+			}
+			res[i] = sign * amp
+		}
+		v, err := SATD(nil, res, 8, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if a, b := mk(5), mk(50); a >= b {
+		t.Errorf("SATD(amp 5)=%d >= SATD(amp 50)=%d; must grow with residual energy", a, b)
+	}
+}
+
+func TestSATDValidation(t *testing.T) {
+	if _, err := SATD(nil, make([]int32, 9), 3, 3); err == nil {
+		t.Error("SATD accepted non-multiple-of-4 size")
+	}
+	if _, err := SATD(nil, nil, 0, 0); err == nil {
+		t.Error("SATD accepted zero size")
+	}
+}
+
+func TestTransformInstrumentation(t *testing.T) {
+	tc := trace.New()
+	src := make([]int32, 64)
+	coef := make([]int32, 64)
+	if err := Forward(tc, src, 8, coef); err != nil {
+		t.Fatal(err)
+	}
+	// 4x4 transforms run at SSE width; 8+ at AVX width.
+	if tc.Mix[trace.OpAVX] == 0 {
+		t.Error("8x8 Forward reported no AVX work")
+	}
+	small := trace.New()
+	coef4 := make([]int32, 16)
+	if err := Forward(small, coef4, 4, coef4); err != nil {
+		t.Fatal(err)
+	}
+	if small.Mix[trace.OpSSE] == 0 {
+		t.Error("4x4 Forward reported no SSE work")
+	}
+	big := trace.New()
+	coef32 := make([]int32, 32*32)
+	if err := Forward(big, coef32, 32, coef32); err != nil {
+		t.Fatal(err)
+	}
+	if big.Mix[trace.OpAVX] == 0 {
+		t.Error("32x32 Forward reported no AVX work")
+	}
+	if tc.Mix[trace.OpLoad] == 0 || tc.Mix[trace.OpStore] == 0 {
+		t.Error("Forward reported no memory traffic")
+	}
+	if tc.Mix[trace.OpBranch] == 0 {
+		t.Error("Forward reported no loop branches")
+	}
+	before := tc.Total()
+	if _, err := SATD(tc, src, 8, 8); err != nil {
+		t.Fatal(err)
+	}
+	if tc.Total() == before {
+		t.Error("SATD reported no instructions")
+	}
+	// SATD must be much cheaper than the full transform: that cost gap is
+	// what makes fast presets fast.
+	satdCost := tc.Total() - before
+	if satdCost >= before {
+		t.Errorf("SATD cost %d not below DCT cost %d", satdCost, before)
+	}
+}

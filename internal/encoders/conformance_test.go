@@ -1,0 +1,152 @@
+package encoders
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vcprof/internal/video"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate the conformance corpus")
+
+// conformancePoint is one corpus entry: an encode configuration plus
+// the expected bitstream and reconstruction digests.
+type conformancePoint struct {
+	Name    string  `json:"name"`
+	Family  Family  `json:"family"`
+	Clip    string  `json:"clip"`
+	Frames  int     `json:"frames"`
+	Scale   int     `json:"scale"`
+	CRF     int     `json:"crf"`
+	Preset  int     `json:"preset"`
+	Kbps    float64 `json:"kbps,omitempty"`
+	KeyInt  int     `json:"key_interval,omitempty"`
+	Cut     int     `json:"cut,omitempty"`
+	Scene   bool    `json:"scenecut,omitempty"`
+	Stream  string  `json:"stream_sha256"`
+	Recon   string  `json:"recon_sha256"`
+	Bytes   int     `json:"bytes"`
+}
+
+// conformanceConfigs defines the corpus. Changing encoder behaviour
+// intentionally requires regenerating with:
+//
+//	go test ./internal/encoders -run TestBitstreamConformance -update
+func conformanceConfigs() []conformancePoint {
+	return []conformancePoint{
+		{Name: "svt-mid", Family: SVTAV1, Clip: "game1", Frames: 3, Scale: 16, CRF: 32, Preset: 4},
+		{Name: "svt-fast", Family: SVTAV1, Clip: "hall", Frames: 3, Scale: 16, CRF: 60, Preset: 8},
+		{Name: "svt-slow", Family: SVTAV1, Clip: "desktop", Frames: 3, Scale: 16, CRF: 20, Preset: 1},
+		{Name: "libaom-mid", Family: Libaom, Clip: "game2", Frames: 3, Scale: 16, CRF: 40, Preset: 5},
+		{Name: "vp9-mid", Family: VP9, Clip: "cat", Frames: 3, Scale: 16, CRF: 35, Preset: 4},
+		{Name: "x264-mid", Family: X264, Clip: "bike", Frames: 3, Scale: 16, CRF: 28, Preset: 5},
+		{Name: "x265-slow", Family: X265, Clip: "girl", Frames: 3, Scale: 16, CRF: 24, Preset: 8},
+		{Name: "svt-abr", Family: SVTAV1, Clip: "game1", Frames: 4, Scale: 16, Kbps: 300, Preset: 6},
+		{Name: "svt-scenecut", Family: SVTAV1, Clip: "game1", Frames: 6, Scale: 16, CRF: 40, Preset: 6, Cut: 3, Scene: true},
+		{Name: "svt-keyed", Family: SVTAV1, Clip: "funny", Frames: 4, Scale: 16, CRF: 44, Preset: 6, KeyInt: 2},
+	}
+}
+
+func conformanceEncode(t *testing.T, cp conformancePoint) *Result {
+	t.Helper()
+	meta, err := video.LookupClip(cp.Clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip, err := video.Generate(meta, video.GenerateOptions{Frames: cp.Frames, ScaleDiv: cp.Scale, CutAt: cp.Cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MustNew(cp.Family).Encode(clip, Options{
+		CRF: cp.CRF, Preset: cp.Preset, TargetKbps: cp.Kbps,
+		KeyInterval: cp.KeyInt, SceneCut: cp.Scene, KeepBitstream: true,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", cp.Name, err)
+	}
+	return res
+}
+
+func reconDigest(frames []*video.Frame) string {
+	h := sha256.New()
+	for _, f := range frames {
+		h.Write(f.Y.Pix)
+		h.Write(f.U.Pix)
+		h.Write(f.V.Pix)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+const goldenPath = "testdata/conformance.json"
+
+// TestBitstreamConformance locks the bitstream format: every corpus
+// point's container bytes and decoded reconstruction must match the
+// recorded digests bit-for-bit. Run with -update after an intentional
+// format change.
+func TestBitstreamConformance(t *testing.T) {
+	if *updateGolden {
+		var out []conformancePoint
+		for _, cp := range conformanceConfigs() {
+			res := conformanceEncode(t, cp)
+			sum := sha256.Sum256(res.Bitstream)
+			cp.Stream = hex.EncodeToString(sum[:])
+			dec, err := DecodeBitstream(res.Bitstream)
+			if err != nil {
+				t.Fatalf("%s: decode: %v", cp.Name, err)
+			}
+			cp.Recon = reconDigest(dec)
+			cp.Bytes = len(res.Bitstream)
+			out = append(out, cp)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d conformance points to %s", len(out), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("conformance corpus missing (run with -update to create): %v", err)
+	}
+	var golden []conformancePoint
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+	if len(golden) != len(conformanceConfigs()) {
+		t.Fatalf("corpus has %d points, configs define %d — regenerate with -update",
+			len(golden), len(conformanceConfigs()))
+	}
+	for _, cp := range golden {
+		cp := cp
+		t.Run(cp.Name, func(t *testing.T) {
+			res := conformanceEncode(t, cp)
+			sum := sha256.Sum256(res.Bitstream)
+			if got := hex.EncodeToString(sum[:]); got != cp.Stream {
+				t.Errorf("bitstream digest changed: %s (was %s) — the format drifted; if intentional, regenerate with -update", got, cp.Stream)
+			}
+			if len(res.Bitstream) != cp.Bytes {
+				t.Errorf("bitstream size %d, golden %d", len(res.Bitstream), cp.Bytes)
+			}
+			dec, err := DecodeBitstream(res.Bitstream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := reconDigest(dec); got != cp.Recon {
+				t.Errorf("reconstruction digest changed: %s (was %s)", got, cp.Recon)
+			}
+		})
+	}
+}

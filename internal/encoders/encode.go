@@ -1,0 +1,151 @@
+package encoders
+
+import (
+	"fmt"
+	"time"
+
+	"vcprof/internal/metrics"
+	"vcprof/internal/video"
+)
+
+// Encode runs the model on the clip. It is safe for concurrent use with
+// distinct clips and options. The bitstream size, reconstruction,
+// quality metrics and (if instrumented) instruction-level counters are
+// returned in the Result.
+func (m *model) Encode(clip *video.Clip, opts Options) (*Result, error) {
+	if err := m.validate(clip, opts); err != nil {
+		return nil, err
+	}
+	if opts.Threads < 1 {
+		opts.Threads = 1
+	}
+	se, err := newStreamEncoder(m.spec, clip, opts)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := newWorkerSet(se, opts)
+	if err != nil {
+		return nil, err
+	}
+	g, err := se.buildGraph(ws)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := runLive(g, ws); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+
+	return m.assemble(se, ws, clip, wall)
+}
+
+// assemble collects the Result from a completed stream encode.
+func (m *model) assemble(se *streamEncoder, ws *workerSet, clip *video.Clip, wall time.Duration) (*Result, error) {
+	res := &Result{Family: m.spec.family, Wall: wall}
+	for _, pic := range se.pics {
+		res.Bytes += pic.bytes
+		res.FrameBytes = append(res.FrameBytes, pic.bytes)
+		res.Recon = append(res.Recon, se.cropRecon(pic))
+		res.QIndices = append(res.QIndices, pic.qindex)
+		for i, n := range pic.shapeCount {
+			res.Shapes[i] += n
+		}
+		res.SkipBlocks += pic.skipCount
+		if pic.isKey {
+			res.KeyFrames = append(res.KeyFrames, pic.index)
+		}
+	}
+	var err error
+	if res.PSNR, err = metrics.SequencePSNR(clip.Frames, res.Recon); err != nil {
+		return nil, err
+	}
+	if res.SSIM, err = metrics.SequenceSSIM(clip.Frames, res.Recon); err != nil {
+		return nil, err
+	}
+	fps := clip.Meta.FPS
+	if fps <= 0 {
+		fps = 30
+	}
+	if res.BitrateKbps, err = metrics.BitrateKbps(res.Bytes, len(clip.Frames), fps); err != nil {
+		return nil, err
+	}
+	for _, tc := range ws.ctxs {
+		if tc == nil {
+			continue
+		}
+		res.Mix.Add(&tc.Mix)
+		res.Insts += tc.Total()
+		res.WorkerInsts = append(res.WorkerInsts, tc.Total())
+	}
+	if se.opts.KeepBitstream {
+		bs, err := se.assembleBitstream()
+		if err != nil {
+			return nil, err
+		}
+		res.Bitstream = bs
+	}
+	return res, nil
+}
+
+// ProfileSchedule runs the encode once, serially, measuring the
+// instruction cost of every task of the family's threading architecture
+// and returning the dependence graph for makespan simulation. This is
+// the thread-scalability substitute: Schedule.Speedup(n) predicts the
+// paper's wall-clock speedup on an n-core machine from the measured
+// work distribution.
+func ProfileSchedule(enc Encoder, clip *video.Clip, opts Options) (*Schedule, *Result, error) {
+	m, ok := enc.(*model)
+	if !ok {
+		return nil, nil, fmt.Errorf("encoders: ProfileSchedule requires a model encoder")
+	}
+	opts.Threads = 1
+	if err := m.validate(clip, opts); err != nil {
+		return nil, nil, err
+	}
+	se, err := newStreamEncoder(m.spec, clip, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws, err := newWorkerSet(se, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := se.buildGraph(ws)
+	if err != nil {
+		return nil, nil, err
+	}
+	costs, err := runProfiled(g, ws)
+	if err != nil {
+		return nil, nil, err
+	}
+	sched := &Schedule{Costs: costs}
+	for _, t := range g.tasks {
+		sched.Deps = append(sched.Deps, t.deps)
+		sched.Names = append(sched.Names, t.name)
+	}
+	res, err := m.assemble(se, ws, clip, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sched, res, nil
+}
+
+// cropRecon extracts the unpadded reconstruction of a picture.
+func (se *streamEncoder) cropRecon(pic *picture) *video.Frame {
+	f := &video.Frame{
+		Y:     cropPlane(pic.recY.Plane, se.w, se.h),
+		U:     cropPlane(pic.recU.Plane, se.w/2, se.h/2),
+		V:     cropPlane(pic.recV.Plane, se.w/2, se.h/2),
+		Index: pic.index,
+	}
+	return f
+}
+
+func cropPlane(p *video.Plane, w, h int) *video.Plane {
+	out := video.NewPlane(w, h)
+	for y := 0; y < h; y++ {
+		copy(out.Row(y), p.Row(y)[:w])
+	}
+	return out
+}

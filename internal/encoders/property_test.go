@@ -1,0 +1,167 @@
+package encoders
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vcprof/internal/codec"
+	"vcprof/internal/codec/entropy"
+)
+
+// randomDAG builds a random schedule whose edges always point backward,
+// so it is acyclic by construction.
+func randomDAG(r *rand.Rand, n int) *Schedule {
+	s := &Schedule{}
+	for i := 0; i < n; i++ {
+		s.Costs = append(s.Costs, uint64(r.Intn(50)+1))
+		var deps []int
+		for d := 0; d < i; d++ {
+			if r.Intn(4) == 0 {
+				deps = append(deps, d)
+			}
+		}
+		s.Deps = append(s.Deps, deps)
+	}
+	return s
+}
+
+// criticalPath returns the longest dependency chain cost.
+func criticalPath(s *Schedule) uint64 {
+	finish := make([]uint64, len(s.Costs))
+	var max uint64
+	for i := range s.Costs {
+		var ready uint64
+		for _, d := range s.Deps[i] {
+			if finish[d] > ready {
+				ready = finish[d]
+			}
+		}
+		finish[i] = ready + s.Costs[i]
+		if finish[i] > max {
+			max = finish[i]
+		}
+	}
+	return max
+}
+
+// TestScheduleMakespanProperties checks list-scheduling invariants on
+// random DAGs: the makespan is bounded below by both the critical path
+// and work/cores, bounded above by total work, and never increases when
+// cores are added.
+func TestScheduleMakespanProperties(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(sizeRaw%40) + 1
+		s := randomDAG(r, n)
+		total := s.TotalWork()
+		cp := criticalPath(s)
+		prev := uint64(0)
+		for cores := 1; cores <= 9; cores++ {
+			span, busy, err := s.Makespan(cores)
+			if err != nil {
+				return false
+			}
+			if span > total || span < cp {
+				return false // outside [criticalPath, totalWork]
+			}
+			if span < (total+uint64(cores)-1)/uint64(cores) {
+				return false // beats the work bound
+			}
+			var busySum uint64
+			for _, b := range busy {
+				busySum += b
+			}
+			if busySum != total {
+				return false // work conservation
+			}
+			if cores > 1 && span > prev {
+				return false // more cores never slower under this list scheduler
+			}
+			prev = span
+		}
+		one, _, _ := s.Makespan(1)
+		return one == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoefBlockRoundTripQuick fuzzes the coefficient syntax with random
+// sparse levels across all transform sizes.
+func TestCoefBlockRoundTripQuick(t *testing.T) {
+	f := func(seed int64, sizeSel uint8, density uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := []int{4, 8, 16, 32}[sizeSel%4]
+		levels := make([]int32, n*n)
+		fill := int(density%100) + 1
+		for i := range levels {
+			if r.Intn(100) < fill {
+				levels[i] = int32(r.Intn(4001) - 2000)
+			}
+		}
+		enc := entropy.NewEncoder(nil, 0)
+		if err := writeCoefBlock(enc, newProbModel(), levels, n); err != nil {
+			return false
+		}
+		dec := entropy.NewDecoder(enc.Finish())
+		got, err := readCoefBlock(dec, newProbModel(), n)
+		if err != nil {
+			return false
+		}
+		for i := range levels {
+			if got[i] != levels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMVRoundTripQuick fuzzes motion-vector coding.
+func TestMVRoundTripQuick(t *testing.T) {
+	f := func(mx, my, px, py int16) bool {
+		mv := codec.MV{X: mx % 512, Y: my % 512}
+		pred := codec.MV{X: px % 512, Y: py % 512}
+		enc := entropy.NewEncoder(nil, 0)
+		pmE := newProbModel()
+		writeMV(enc, pmE, mv, pred)
+		dec := entropy.NewDecoder(enc.Finish())
+		return readMV(dec, newProbModel(), pred) == mv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeBitstreamNeverPanics mutates valid bitstreams at random and
+// requires the decoder to fail cleanly (error, not panic) or succeed.
+func TestDecodeBitstreamNeverPanics(t *testing.T) {
+	clip := testClip(t, "game2", 3, 16)
+	res, err := MustNew(SVTAV1).Encode(clip, Options{CRF: 45, Preset: 6, KeepBitstream: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res.Bitstream
+	f := func(seed int64, nmut uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		data := append([]byte{}, base...)
+		for m := 0; m < int(nmut%8)+1; m++ {
+			data[r.Intn(len(data))] ^= byte(1 << uint(r.Intn(8)))
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Fatalf("decoder panicked on mutated stream (seed %d): %v", seed, rec)
+			}
+		}()
+		_, _ = DecodeBitstream(data) // error or success are both fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+package encoders
+
+import (
+	"fmt"
+	"math"
+
+	"vcprof/internal/codec/motion"
+	"vcprof/internal/trace"
+)
+
+// rateController implements average-bitrate (ABR) control: the frame
+// quantizer adapts after every coded frame so the running byte count
+// tracks the target. It is the closed-loop counterpart of the paper's
+// constant-quality CRF runs (its "capped CRF" reference [13] combines
+// both). Rate decisions depend on completed frames, so ABR serializes
+// the frame pipeline — exactly the trade-off two-pass/VBV rate control
+// imposes on threaded encoders.
+type rateController struct {
+	targetBytesPerFrame float64
+	spentBytes          float64
+	codedFrames         int
+	qindex              int
+	rdBonus             float64
+}
+
+// rcMinQ keeps ABR away from the near-lossless floor where a single
+// frame could blow the whole budget.
+const rcMinQ = 24
+
+// newRateController sizes the controller for a target bitrate.
+func newRateController(targetKbps float64, fps, w, h int, rdBonus float64) (*rateController, error) {
+	if targetKbps <= 0 {
+		return nil, fmt.Errorf("encoders: invalid target bitrate %v kbps", targetKbps)
+	}
+	if fps <= 0 {
+		fps = 30
+	}
+	bytesPerFrame := targetKbps * 1000 / 8 / float64(fps)
+	// Initial quantizer from bits per pixel: a coarse log model anchored
+	// so ~0.05 bpp starts near qindex 170 and ~1 bpp near qindex 90.
+	bpp := bytesPerFrame * 8 / float64(w*h)
+	q := int(math.Round(90 - 26*math.Log2(bpp)))
+	if q < rcMinQ {
+		q = rcMinQ
+	}
+	if q > 240 {
+		q = 240
+	}
+	return &rateController{
+		targetBytesPerFrame: bytesPerFrame,
+		qindex:              q,
+		rdBonus:             rdBonus,
+	}, nil
+}
+
+// onFrameCoded records a finished frame and returns the quantizer for
+// the next one: proportional control on the accumulated budget error,
+// bounded per step so quality cannot oscillate wildly.
+func (rc *rateController) onFrameCoded(bytes int) int {
+	rc.spentBytes += float64(bytes)
+	rc.codedFrames++
+	errFrames := (rc.spentBytes - rc.targetBytesPerFrame*float64(rc.codedFrames)) / rc.targetBytesPerFrame
+	adjust := int(math.Round(errFrames * 10))
+	if adjust > 24 {
+		adjust = 24
+	} else if adjust < -24 {
+		adjust = -24
+	}
+	rc.qindex += adjust
+	if rc.qindex < rcMinQ {
+		rc.qindex = rcMinQ
+	}
+	if rc.qindex > 250 {
+		rc.qindex = 250
+	}
+	return rc.qindex
+}
+
+// ---------------------------------------------------------------------
+// Scene-cut detection: an open-loop pass over the source frames marks
+// keyframes where the temporal SAD jumps well above its running level,
+// the lookahead heuristic production encoders use.
+
+// detectSceneCuts flags pictures that start a new scene. The first
+// frame is always a keyframe; subsequent frames become keyframes when
+// their frame-difference SAD exceeds sceneCutRatio times the running
+// average of previous diffs (and an absolute floor that keeps static
+// content immune to the ratio test).
+const sceneCutRatio = 1.8
+
+func (se *streamEncoder) detectSceneCuts(tc *trace.Ctx) error {
+	if len(se.pics) < 2 {
+		return nil
+	}
+	var runAvg float64
+	for i := 1; i < len(se.pics); i++ {
+		cur, prev := se.pics[i], se.pics[i-1]
+		sad, err := motion.SAD(tc, cur.srcY, 0, 0, prev.srcY, 0, 0, se.aw, se.ah)
+		if err != nil {
+			return err
+		}
+		d := float64(sad) / float64(se.aw*se.ah)
+		if runAvg > 0 && d > sceneCutRatio*runAvg && d > 8 {
+			cur.isKey = true
+		}
+		// Exponential running average of "normal" temporal change; scene
+		// cuts are excluded so one cut does not mask the next.
+		if !cur.isKey {
+			if runAvg == 0 {
+				runAvg = d
+			} else {
+				runAvg = 0.75*runAvg + 0.25*d
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package encoders
+
+import (
+	"fmt"
+	"testing"
+
+	"vcprof/internal/trace"
+	"vcprof/internal/video"
+)
+
+func testClip(t testing.TB, name string, frames, scaleDiv int) *video.Clip {
+	t.Helper()
+	meta, err := video.LookupClip(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip, err := video.Generate(meta, video.GenerateOptions{Frames: frames, ScaleDiv: scaleDiv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clip
+}
+
+// TestSmokeAllFamilies exercises a tiny encode on every model and prints
+// the headline stats, which double as the calibration readout.
+func TestSmokeAllFamilies(t *testing.T) {
+	clip := testClip(t, "game1", 4, 16)
+	for _, fam := range Families() {
+		fam := fam
+		t.Run(string(fam), func(t *testing.T) {
+			enc := MustNew(fam)
+			_, crfHi := enc.CRFRange()
+			crf := crfHi / 2
+			lo, hi, rev := enc.PresetRange()
+			preset := (lo + hi) / 2
+			_ = rev
+			tc := trace.New()
+			res, err := enc.Encode(clip, Options{
+				CRF: crf, Preset: preset, Threads: 1,
+				NewWorkerCtx: func(int) *trace.Ctx { return tc },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Bytes <= 0 {
+				t.Error("empty bitstream")
+			}
+			if res.PSNR < 20 || res.PSNR > 100 {
+				t.Errorf("implausible PSNR %v", res.PSNR)
+			}
+			if res.Insts == 0 {
+				t.Error("no instructions counted")
+			}
+			mix := res.Mix
+			tot := mix.Total()
+			fmt.Printf("%-12s insts=%9d psnr=%5.2f kbps=%8.1f bytes=%6d  branch=%4.1f%% load=%4.1f%% store=%4.1f%% avx=%4.1f%% sse=%4.1f%% other=%4.1f%%\n",
+				fam, tot, res.PSNR, res.BitrateKbps, res.Bytes,
+				mix.Percent(trace.OpBranch), mix.Percent(trace.OpLoad), mix.Percent(trace.OpStore),
+				mix.Percent(trace.OpAVX), mix.Percent(trace.OpSSE), mix.Percent(trace.OpOther))
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"vcprof/internal/encoders"
+	"vcprof/internal/trace"
+)
+
+func init() {
+	register(Experiment{ID: "table2", Title: "Instruction mix per video, SVT-AV1 preset 8 CRF 63", Run: runTable2})
+	register(Experiment{ID: "fig3", Title: "Op-mix per video across the CRF sweep (SVT-AV1)", Run: runFig3})
+}
+
+// CountingCtx is the worker-context factory for counting-only runs.
+func CountingCtx(int) *trace.Ctx { return trace.New() }
+
+// newCountingCtx is the internal alias used by the experiment runners.
+func newCountingCtx(w int) *trace.Ctx { return CountingCtx(w) }
+
+func mixRow(prefix []string, insts uint64, m *trace.Mix) []string {
+	return append(prefix,
+		sci(float64(insts)),
+		f1(m.Percent(trace.OpBranch)),
+		f1(m.Percent(trace.OpLoad)),
+		f1(m.Percent(trace.OpStore)),
+		f1(m.Percent(trace.OpAVX)),
+		f1(m.Percent(trace.OpSSE)),
+		f1(m.Percent(trace.OpOther)),
+	)
+}
+
+var mixHeader = []string{"insts", "branch%", "load%", "store%", "avx%", "sse%", "other%"}
+
+func runTable2(s Scale) ([]*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "table2", Title: "instruction mix, SVT-AV1 preset 8, CRF 63",
+		Header: append([]string{"video"}, mixHeader...)}
+	for _, name := range s.clipNames() {
+		clip, err := s.Clip(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runCounted(encoders.SVTAV1, clip, 63, 8)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(mixRow([]string{name}, res.Insts, &res.Mix)...)
+	}
+	return []*Table{t}, nil
+}
+
+func runFig3(s Scale) ([]*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig3", Title: "op-mix vs CRF (SVT-AV1 preset 4)",
+		Header: append([]string{"video", "crf"}, mixHeader...)}
+	for _, name := range s.clipNames() {
+		clip, err := s.Clip(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, crf := range s.CRFs {
+			res, err := runCounted(encoders.SVTAV1, clip, crf, 4)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(mixRow([]string{name, d(uint64(crf))}, res.Insts, &res.Mix)...)
+		}
+	}
+	return []*Table{t}, nil
+}

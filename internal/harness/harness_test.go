@@ -1,0 +1,668 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fast is a minimal scale for unit-level experiment checks.
+func fast() Scale {
+	s := QuickScale()
+	s.Clips = []string{"desktop", "game1"}
+	s.Frames = 3
+	s.WindowOps = 250_000
+	return s
+}
+
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("table %s has no cell (%d,%d)", tab.ID, row, col)
+	}
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("table %s cell (%d,%d) = %q not numeric", tab.ID, row, col, tab.Rows[row][col])
+	}
+	return v
+}
+
+func colIndex(t *testing.T, tab *Table, name string) int {
+	t.Helper()
+	for i, h := range tab.Header {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("table %s has no column %q (have %v)", tab.ID, name, tab.Header)
+	return -1
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2",
+		"fig1", "fig2a", "fig2b", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"ablation-partition", "ablation-predictor", "ablation-cache", "ablation-motion", "ablation-prefetch",
+	}
+	have := map[string]bool{}
+	for _, e := range List() {
+		have[e.ID] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(have) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(have), len(want))
+	}
+	// Ordering: tables first, then figures numerically.
+	ids := List()
+	if ids[0].ID != "table1" || ids[1].ID != "table2" || ids[2].ID != "fig1" {
+		t.Errorf("ordering wrong: %s %s %s", ids[0].ID, ids[1].ID, ids[2].ID)
+	}
+	if _, err := Lookup("fig99"); err == nil {
+		t.Error("Lookup accepted unknown id")
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	s := DefaultScale()
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	s.CRFs = []int{99}
+	if err := s.Validate(); err == nil {
+		t.Error("accepted CRF out of range")
+	}
+	s = DefaultScale()
+	s.Clips = []string{"nope"}
+	if err := s.Validate(); err == nil {
+		t.Error("accepted unknown clip")
+	}
+	s = DefaultScale()
+	s.Frames = 0
+	if err := s.Validate(); err == nil {
+		t.Error("accepted zero frames")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	txt := tab.Render()
+	if !strings.Contains(txt, "demo") || !strings.Contains(txt, "bb") {
+		t.Errorf("Render missing parts: %q", txt)
+	}
+	csv := tab.CSV()
+	if csv != "a,bb\n1,2\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tabs, err := Lookup("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tabs.Run(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(out[0].Rows) != 15 {
+		t.Fatalf("table1 has %d rows, want 15", len(out[0].Rows))
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	e, err := Lookup("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := out[1]
+	x264Col := colIndex(t, insts, "x264")
+	svtCol := colIndex(t, insts, "svt-av1")
+	for r := range insts.Rows {
+		svt := cell(t, insts, r, svtCol)
+		x := cell(t, insts, r, x264Col)
+		if svt < 3*x {
+			t.Errorf("crf row %d: svt-av1 %vM insts not ≫ x264 %vM (paper: order of magnitude)", r, svt, x)
+		}
+	}
+	// Instructions fall as CRF rises (paper Fig 1 / Fig 4a).
+	if first, last := cell(t, insts, 0, svtCol), cell(t, insts, len(insts.Rows)-1, svtCol); last >= first {
+		t.Errorf("svt-av1 insts did not fall with CRF: %v → %v", first, last)
+	}
+}
+
+func TestFig2aSVTHasBestBDRate(t *testing.T) {
+	e, err := Lookup("fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fast()
+	s.CRFs = []int{10, 25, 40, 55}
+	out, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out[0]
+	bd := map[string]float64{}
+	for r, row := range tab.Rows {
+		bd[row[0]] = cell(t, tab, r, 1)
+	}
+	if bd["svt-av1"] >= 0 {
+		t.Errorf("svt-av1 BD-Rate %v not negative vs x264 (paper Fig 2a: AV1 best RD)", bd["svt-av1"])
+	}
+	if bd["svt-av1"] >= bd["x264"] {
+		t.Errorf("svt-av1 BD-Rate %v not better than anchor", bd["svt-av1"])
+	}
+}
+
+func TestTable2MixInPaperBands(t *testing.T) {
+	e, err := Lookup("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out[0]
+	for r := range tab.Rows {
+		branch := cell(t, tab, r, colIndex(t, tab, "branch%"))
+		load := cell(t, tab, r, colIndex(t, tab, "load%"))
+		store := cell(t, tab, r, colIndex(t, tab, "store%"))
+		avx := cell(t, tab, r, colIndex(t, tab, "avx%"))
+		sse := cell(t, tab, r, colIndex(t, tab, "sse%"))
+		// Generous bands around Table 2: branch 3.3–6.9, load 25.8–29.4,
+		// store 12.9–15.5, AVX 29–34, SSE 0.2–1.0.
+		if branch < 2 || branch > 10 {
+			t.Errorf("row %d branch%% = %v outside paper band", r, branch)
+		}
+		if load < 20 || load > 40 {
+			t.Errorf("row %d load%% = %v outside paper band", r, load)
+		}
+		if store < 6 || store > 22 {
+			t.Errorf("row %d store%% = %v outside paper band", r, store)
+		}
+		if avx < 22 || avx > 48 {
+			t.Errorf("row %d avx%% = %v outside paper band", r, avx)
+		}
+		if sse > 6 {
+			t.Errorf("row %d sse%% = %v, paper shows ~1%%", r, sse)
+		}
+	}
+}
+
+func TestFig4IPCAroundTwo(t *testing.T) {
+	e, err := Lookup("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipc := out[2]
+	for r := range ipc.Rows {
+		for c := 1; c < len(ipc.Rows[r]); c++ {
+			v := cell(t, ipc, r, c)
+			if v < 1.0 || v > 3.2 {
+				t.Errorf("IPC %v at %s/%s outside the paper's ~2 band", v, ipc.Rows[r][0], ipc.Header[c])
+			}
+		}
+	}
+	// Instructions monotone non-increasing with CRF per clip.
+	insts := out[0]
+	for r := range insts.Rows {
+		first := cell(t, insts, r, 1)
+		last := cell(t, insts, r, len(insts.Header)-1)
+		if last > first {
+			t.Errorf("%s: instructions rose with CRF (%v → %v)", insts.Rows[r][0], first, last)
+		}
+	}
+}
+
+func TestFig5TopDownShape(t *testing.T) {
+	e, err := Lookup("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out[0]
+	ret := colIndex(t, tab, "retiring")
+	bs := colIndex(t, tab, "badspec")
+	fe := colIndex(t, tab, "frontend")
+	be := colIndex(t, tab, "backend")
+	for r := range tab.Rows {
+		sum := cell(t, tab, r, ret) + cell(t, tab, r, bs) + cell(t, tab, r, fe) + cell(t, tab, r, be)
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("row %d fractions sum to %v", r, sum)
+		}
+		if v := cell(t, tab, r, ret); v < 0.25 || v > 0.8 {
+			t.Errorf("row %d retiring %v outside the paper's 0.4–0.6 neighbourhood", r, v)
+		}
+		if cell(t, tab, r, be) <= cell(t, tab, r, fe) {
+			t.Errorf("row %d backend not above frontend", r)
+		}
+	}
+}
+
+func TestFig6MPKITrends(t *testing.T) {
+	e, err := Lookup("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fast()
+	s.Clips = []string{"game1"}
+	out, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpki := out[0]
+	br := colIndex(t, mpki, "branch_mpki")
+	l1 := colIndex(t, mpki, "l1d_mpki")
+	first, last := 0, len(mpki.Rows)-1
+	if cell(t, mpki, last, br) >= cell(t, mpki, first, br) {
+		t.Errorf("branch MPKI did not fall with CRF: %v → %v",
+			cell(t, mpki, first, br), cell(t, mpki, last, br))
+	}
+	if cell(t, mpki, last, l1) <= cell(t, mpki, first, l1) {
+		t.Errorf("L1D MPKI did not rise with CRF: %v → %v",
+			cell(t, mpki, first, l1), cell(t, mpki, last, l1))
+	}
+	// Stall table sanity: all values non-negative and finite.
+	stalls := out[1]
+	for r := range stalls.Rows {
+		for c := 2; c < len(stalls.Rows[r]); c++ {
+			if v := cell(t, stalls, r, c); v < 0 {
+				t.Errorf("negative stall value %v", v)
+			}
+		}
+	}
+}
+
+func TestFig8PredictorOrdering(t *testing.T) {
+	e, err := Lookup("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fast()
+	s.Clips = []string{"game1", "hall"}
+	out, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out[0]
+	g2 := colIndex(t, tab, "gshare-2KB")
+	g32 := colIndex(t, tab, "gshare-32KB")
+	t8 := colIndex(t, tab, "tage-8KB")
+	t64 := colIndex(t, tab, "tage-64KB")
+	for r := range tab.Rows {
+		// Within a family, the bigger budget must not be meaningfully
+		// worse (the paper shows it strictly better; at our trace scale
+		// the margin is a few percent, so allow a 5% tolerance).
+		if cell(t, tab, r, g32) > 1.05*cell(t, tab, r, g2) {
+			t.Errorf("%s: gshare-32KB (%v) worse than gshare-2KB (%v)",
+				tab.Rows[r][0], cell(t, tab, r, g32), cell(t, tab, r, g2))
+		}
+		if cell(t, tab, r, t64) > 1.05*cell(t, tab, r, t8) {
+			t.Errorf("%s: tage-64KB (%v) worse than tage-8KB (%v)",
+				tab.Rows[r][0], cell(t, tab, r, t64), cell(t, tab, r, t8))
+		}
+		// Across families the gap is large and must hold strictly.
+		if cell(t, tab, r, t64) > cell(t, tab, r, g2) {
+			t.Errorf("%s: tage-64KB (%v) worse than gshare-2KB (%v)",
+				tab.Rows[r][0], cell(t, tab, r, t64), cell(t, tab, r, g2))
+		}
+		if cell(t, tab, r, t8) > cell(t, tab, r, g32) {
+			t.Errorf("%s: tage-8KB (%v) worse than gshare-32KB (%v)",
+				tab.Rows[r][0], cell(t, tab, r, t8), cell(t, tab, r, g32))
+		}
+	}
+}
+
+func TestFig11PresetSweepShape(t *testing.T) {
+	e, err := Lookup("fig11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime := out[0]
+	instCol := colIndex(t, runtime, "insts_m")
+	p0 := cell(t, runtime, 0, instCol)
+	p8 := cell(t, runtime, 8, instCol)
+	if p0 < 10*p8 {
+		t.Errorf("preset 0 insts (%vM) not ≫ preset 8 (%vM); paper: orders of magnitude", p0, p8)
+	}
+	rates := out[1]
+	kb := colIndex(t, rates, "kbps")
+	ps := colIndex(t, rates, "psnr_db")
+	// Bitrate rises from preset 0 to 8; PSNR falls only modestly (<2dB).
+	if cell(t, rates, 8, kb) <= cell(t, rates, 0, kb) {
+		t.Errorf("bitrate did not rise with preset: %v → %v", cell(t, rates, 0, kb), cell(t, rates, 8, kb))
+	}
+	drop := cell(t, rates, 0, ps) - cell(t, rates, 8, ps)
+	if drop < 0 || drop > 3 {
+		t.Errorf("PSNR drop over presets = %v dB, paper shows a modest ~0.8 dB", drop)
+	}
+}
+
+func TestAblationPartitionGap(t *testing.T) {
+	e, err := Lookup("ablation-partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out[0]
+	svt := cell(t, tab, 0, colIndex(t, tab, "insts_m"))
+	vp9 := cell(t, tab, 1, colIndex(t, tab, "insts_m"))
+	if svt < 2*vp9 {
+		t.Errorf("10-shape SVT (%vM) not ≫ 4-shape VP9 (%vM): partition space should drive the gap", svt, vp9)
+	}
+}
+
+func TestAblationMotionOrdering(t *testing.T) {
+	e, err := Lookup("ablation-motion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out[0]
+	ic := colIndex(t, tab, "insts_m")
+	hex, full := cell(t, tab, 0, ic), cell(t, tab, 2, ic)
+	if full <= hex {
+		t.Errorf("full search (%vM) not costlier than hex (%vM)", full, hex)
+	}
+}
+
+func TestIDKeyOrdering(t *testing.T) {
+	if idKey("table1") >= idKey("fig1") {
+		t.Error("table1 should sort before fig1")
+	}
+	if idKey("fig2a") >= idKey("fig10") {
+		t.Error("fig2a should sort before fig10")
+	}
+	if idKey("fig16") >= idKey("ablation-cache") {
+		t.Error("figures should sort before ablations")
+	}
+}
+
+func TestFig12ThreadScalingShape(t *testing.T) {
+	e, err := Lookup("fig12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fast()
+	out, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out[0]
+	svt := colIndex(t, tab, "svt-av1")
+	x265c := colIndex(t, tab, "x265")
+	aom := colIndex(t, tab, "libaom")
+	last := len(tab.Rows) - 1 // 8 threads
+	// Paper §4.6: SVT-AV1 ≈6x (best), x265 ≈1.3x (worst), libaom capped
+	// by tiles around 3x.
+	if v := cell(t, tab, last, svt); v < 4 {
+		t.Errorf("SVT-AV1 speedup at 8 threads = %v, want >= 4", v)
+	}
+	if v := cell(t, tab, last, x265c); v > 2 {
+		t.Errorf("x265 speedup at 8 threads = %v, want <= 2", v)
+	}
+	if v := cell(t, tab, last, aom); v < 2 || v > 4.5 {
+		t.Errorf("libaom speedup at 8 threads = %v, want tile-capped 2–4.5", v)
+	}
+	if cell(t, tab, last, svt) <= cell(t, tab, last, x265c) {
+		t.Error("SVT-AV1 not above x265 at 8 threads")
+	}
+	// Column 0 row 0 is threads=1, everything 1.00.
+	for c := 1; c < len(tab.Header); c++ {
+		if v := cell(t, tab, 0, c); v != 1 {
+			t.Errorf("%s speedup at 1 thread = %v, want 1", tab.Header[c], v)
+		}
+	}
+}
+
+func TestFig16BackendGrowsForX265(t *testing.T) {
+	e, err := Lookup("fig16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out[0]
+	be := colIndex(t, tab, "backend")
+	imb := colIndex(t, tab, "imbalance")
+	byKey := map[string]map[int]int{} // encoder -> threads -> row
+	for r, row := range tab.Rows {
+		if byKey[row[0]] == nil {
+			byKey[row[0]] = map[int]int{}
+		}
+		th := int(cell(t, tab, r, 1))
+		byKey[row[0]][th] = r
+	}
+	// x265's backend share must grow with threads more than SVT-AV1's,
+	// and its imbalance at 8 threads must be the highest.
+	growth := func(enc string) float64 {
+		return cell(t, tab, byKey[enc][8], be) - cell(t, tab, byKey[enc][1], be)
+	}
+	if growth("x265") <= growth("svt-av1") {
+		t.Errorf("x265 backend growth (%v) not above svt-av1 (%v)", growth("x265"), growth("svt-av1"))
+	}
+	if cell(t, tab, byKey["x265"][8], imb) <= cell(t, tab, byKey["svt-av1"][8], imb) {
+		t.Error("x265 imbalance at 8 threads not above svt-av1")
+	}
+}
+
+func TestAblationPrefetchHelps(t *testing.T) {
+	e, err := Lookup("ablation-prefetch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out[0]
+	l2 := colIndex(t, tab, "l2_mpki")
+	none := cell(t, tab, 0, l2)
+	nl := cell(t, tab, 1, l2)
+	stride := cell(t, tab, 2, l2)
+	if nl > none || stride > none {
+		t.Errorf("prefetching made L2 MPKI worse: none=%v nl=%v stride=%v", none, nl, stride)
+	}
+}
+
+func TestFig2bQualityCostsTime(t *testing.T) {
+	e, err := Lookup("fig2b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out[0]
+	ps := colIndex(t, tab, "psnr_db")
+	tm := colIndex(t, tab, "time_ms")
+	// Rows are ascending CRF: PSNR must fall, time must fall.
+	for r := 1; r < len(tab.Rows); r++ {
+		if cell(t, tab, r, ps) >= cell(t, tab, r-1, ps) {
+			t.Errorf("PSNR did not fall with CRF at row %d", r)
+		}
+	}
+	if cell(t, tab, len(tab.Rows)-1, tm) >= cell(t, tab, 0, tm) {
+		t.Error("encode time did not fall across the CRF sweep")
+	}
+}
+
+func TestFig3AVXShareGrowsWithCRF(t *testing.T) {
+	e, err := Lookup("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fast()
+	s.Clips = []string{"game1"}
+	out, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out[0]
+	avx := colIndex(t, tab, "avx%")
+	first := cell(t, tab, 0, avx)
+	last := cell(t, tab, len(tab.Rows)-1, avx)
+	if last <= first {
+		t.Errorf("AVX share did not grow with CRF: %v → %v (paper Fig 3)", first, last)
+	}
+}
+
+func TestFig7MissRateFallsWithCRF(t *testing.T) {
+	e, err := Lookup("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fast()
+	s.Clips = []string{"game1"}
+	out, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out[0]
+	mr := colIndex(t, tab, "missrate_pct")
+	first := cell(t, tab, 0, mr)
+	last := cell(t, tab, len(tab.Rows)-1, mr)
+	if last >= first {
+		t.Errorf("branch miss rate did not fall with CRF: %v → %v", first, last)
+	}
+	// The paper reports ~3.5% for some points; the sweep must cross that
+	// neighbourhood.
+	if first < 3 || last > 8 {
+		t.Errorf("miss rates [%v, %v] outside the paper's neighbourhood", last, first)
+	}
+}
+
+func TestFig9And10OperatingPoints(t *testing.T) {
+	// The TAGE ≪ Gshare ordering must hold at the other two trace points
+	// too (preset 4 / CRF 10 and CRF 60).
+	for _, id := range []string{"fig9", "fig10"} {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := fast()
+		s.Clips = []string{"game1"}
+		out, err := e.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := out[0]
+		g2 := colIndex(t, tab, "gshare-2KB")
+		t64 := colIndex(t, tab, "tage-64KB")
+		for r := range tab.Rows {
+			if cell(t, tab, r, t64) >= cell(t, tab, r, g2) {
+				t.Errorf("%s %s: tage-64KB (%v) not below gshare-2KB (%v)",
+					id, tab.Rows[r][0], cell(t, tab, r, t64), cell(t, tab, r, g2))
+			}
+		}
+	}
+}
+
+func TestAblationPredictorOrdering(t *testing.T) {
+	e, err := Lookup("ablation-predictor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out[0]
+	mpki := map[string]float64{}
+	col := colIndex(t, tab, "mpki")
+	for r, row := range tab.Rows {
+		mpki[row[0]] = cell(t, tab, r, col)
+	}
+	// At equal budget: bimodal worst, TAGE best; perceptron between
+	// gshare and TAGE on encoder traces.
+	if !(mpki["bimodal-8KB"] > mpki["gshare-2KB"] && mpki["gshare-2KB"] > mpki["tage-8KB"]) {
+		t.Errorf("predictor ordering wrong: %v", mpki)
+	}
+	if mpki["perceptron-8KB"] >= mpki["bimodal-8KB"] {
+		t.Errorf("perceptron (%v) not above bimodal (%v)", mpki["perceptron-8KB"], mpki["bimodal-8KB"])
+	}
+	// The loop-augmented TAGE exploits the encoder's fixed-trip kernel
+	// loops and must not lose to plain TAGE.
+	if mpki["tage-l-8KB"] > mpki["tage-8KB"] {
+		t.Errorf("tage-l (%v) worse than tage (%v)", mpki["tage-l-8KB"], mpki["tage-8KB"])
+	}
+}
+
+func TestAblationCacheGeometry(t *testing.T) {
+	e, err := Lookup("ablation-cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out[0]
+	l2 := colIndex(t, tab, "l2_mpki")
+	// Row 2 is the big-L2 geometry: it must not have more L2 misses than
+	// the baseline row 0.
+	if cell(t, tab, 2, l2) > cell(t, tab, 0, l2) {
+		t.Errorf("1MB L2 (%v) missed more than 256KB L2 (%v)", cell(t, tab, 2, l2), cell(t, tab, 0, l2))
+	}
+}
+
+func TestTable2EffortTracksEntropy(t *testing.T) {
+	// The paper's Table 2 shows higher-activity clips costing more
+	// instructions; the generator must preserve that ordering between
+	// the extreme catalog entries.
+	e, err := Lookup("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fast()
+	s.Clips = []string{"desktop", "hall"}
+	out, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out[0]
+	ic := colIndex(t, tab, "insts")
+	var desktop, hall float64
+	for r, row := range tab.Rows {
+		switch row[0] {
+		case "desktop":
+			desktop = cell(t, tab, r, ic)
+		case "hall":
+			hall = cell(t, tab, r, ic)
+		}
+	}
+	if desktop >= hall {
+		t.Errorf("desktop (%.3g insts) not below hall (%.3g): entropy should order encoder effort", desktop, hall)
+	}
+}

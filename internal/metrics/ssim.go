@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"vcprof/internal/video"
+)
+
+// SSIM constants for 8-bit content (Wang et al. 2004).
+const (
+	ssimC1 = (0.01 * 255) * (0.01 * 255)
+	ssimC2 = (0.03 * 255) * (0.03 * 255)
+	// ssimWindow is the side of the (non-overlapping) evaluation window,
+	// the fast 8×8 variant used by encoder tooling.
+	ssimWindow = 8
+)
+
+// SSIM returns the mean structural similarity index between two equally
+// sized planes, computed over non-overlapping 8×8 windows. The result
+// is in (-1, 1]; 1 means identical.
+func SSIM(a, b *video.Plane) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("metrics: SSIM plane size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	if a.W < ssimWindow || a.H < ssimWindow {
+		return 0, fmt.Errorf("metrics: plane %dx%d smaller than the %d-sample SSIM window", a.W, a.H, ssimWindow)
+	}
+	var total float64
+	var count int
+	for wy := 0; wy+ssimWindow <= a.H; wy += ssimWindow {
+		for wx := 0; wx+ssimWindow <= a.W; wx += ssimWindow {
+			total += ssimWindowScore(a, b, wx, wy)
+			count++
+		}
+	}
+	return total / float64(count), nil
+}
+
+func ssimWindowScore(a, b *video.Plane, wx, wy int) float64 {
+	const n = ssimWindow * ssimWindow
+	var sumA, sumB, sumAA, sumBB, sumAB float64
+	for y := 0; y < ssimWindow; y++ {
+		ra := a.Row(wy + y)[wx : wx+ssimWindow]
+		rb := b.Row(wy + y)[wx : wx+ssimWindow]
+		for x := 0; x < ssimWindow; x++ {
+			va, vb := float64(ra[x]), float64(rb[x])
+			sumA += va
+			sumB += vb
+			sumAA += va * va
+			sumBB += vb * vb
+			sumAB += va * vb
+		}
+	}
+	muA := sumA / n
+	muB := sumB / n
+	varA := sumAA/n - muA*muA
+	varB := sumBB/n - muB*muB
+	cov := sumAB/n - muA*muB
+	return ((2*muA*muB + ssimC1) * (2*cov + ssimC2)) /
+		((muA*muA + muB*muB + ssimC1) * (varA + varB + ssimC2))
+}
+
+// FrameSSIM returns the luma SSIM of a frame pair, the convention most
+// encoder comparisons report.
+func FrameSSIM(a, b *video.Frame) (float64, error) {
+	return SSIM(a.Y, b.Y)
+}
+
+// SequenceSSIM averages luma SSIM across two equal-length sequences.
+func SequenceSSIM(ref, dec []*video.Frame) (float64, error) {
+	if len(ref) != len(dec) {
+		return 0, fmt.Errorf("metrics: sequence length mismatch %d vs %d", len(ref), len(dec))
+	}
+	if len(ref) == 0 {
+		return 0, fmt.Errorf("metrics: empty sequence")
+	}
+	var sum float64
+	for i := range ref {
+		s, err := FrameSSIM(ref[i], dec[i])
+		if err != nil {
+			return 0, err
+		}
+		sum += s
+	}
+	v := sum / float64(len(ref))
+	if math.IsNaN(v) {
+		return 0, fmt.Errorf("metrics: SSIM produced NaN")
+	}
+	return v, nil
+}

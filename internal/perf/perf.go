@@ -1,0 +1,187 @@
+// Package perf substitutes for the paper's Linux-perf measurement flow:
+// it runs an encode with live simulators attached to the instrumentation
+// layer (a hardware-like branch predictor and the Xeon cache hierarchy),
+// collects the same counters perf stat would read, derives cycles and
+// IPC from an analytical core model, and classifies pipeline slots with
+// the top-down method. It also provides the gprof substitute (flat
+// function profiles) and the Pin substitute (recording a micro-op window
+// halfway through the run) used by the CBP experiments.
+package perf
+
+import (
+	"fmt"
+
+	"vcprof/internal/encoders"
+	"vcprof/internal/trace"
+	"vcprof/internal/uarch/bpred"
+	"vcprof/internal/uarch/cache"
+	"vcprof/internal/uarch/topdown"
+	"vcprof/internal/video"
+)
+
+// hwPredictor is the predictor standing in for the measurement
+// machine's front-end (Broadwell's predictor is TAGE-like).
+const hwPredictor = "tage-8KB"
+
+// Counters is the result of one measured encode, the analogue of a perf
+// stat run plus derived metrics.
+type Counters struct {
+	Instructions uint64
+	Mix          trace.Mix
+
+	Branches      uint64
+	BranchMisses  uint64
+	BranchMissPct float64
+	BranchMPKI    float64
+
+	L1DMPKI float64
+	L2MPKI  float64
+	LLCMPKI float64
+
+	Cycles uint64
+	IPC    float64
+
+	TopDown topdown.Breakdown
+
+	// Encode outputs, carried through for convenience.
+	PSNR        float64
+	SSIM        float64
+	BitrateKbps float64
+	Bytes       int
+	WallSeconds float64
+	WorkerInsts []uint64
+}
+
+// memSink adapts the cache hierarchy to the trace layer.
+type memSink struct {
+	h *cache.Hierarchy
+}
+
+func (m *memSink) Access(addr uint64, size int, store bool) {
+	m.h.SpanAccess(addr, size, store)
+}
+
+// takenCounter tracks taken branches for the frontend model.
+type takenCounter struct {
+	taken uint64
+}
+
+func (t *takenCounter) Branch(_ trace.PC, taken bool) {
+	if taken {
+		t.taken++
+	}
+}
+
+// Stat encodes the clip with full live instrumentation on worker 0 and
+// returns the measured counters. Characterization runs are
+// single-threaded like the paper's perf runs; opts.Threads and
+// opts.NewWorkerCtx are overridden.
+func Stat(enc encoders.Encoder, clip *video.Clip, opts encoders.Options) (*Counters, error) {
+	if enc == nil || clip == nil {
+		return nil, fmt.Errorf("perf: nil encoder or clip")
+	}
+	pred, err := bpred.NewByName(hwPredictor)
+	if err != nil {
+		return nil, err
+	}
+	mon := bpred.NewMonitor(pred)
+	taken := &takenCounter{}
+	hier, err := cache.NewXeonHierarchy()
+	if err != nil {
+		return nil, err
+	}
+	tc := trace.New()
+	tc.AttachBranchSink(mon)
+	tc.AttachBranchSink(taken)
+	tc.AttachMemSink(&memSink{h: hier})
+
+	opts.Threads = 1
+	opts.NewWorkerCtx = func(int) *trace.Ctx { return tc }
+	res, err := enc.Encode(clip, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Counters{
+		Instructions: res.Insts,
+		Mix:          res.Mix,
+		Branches:     mon.Branches,
+		BranchMisses: mon.Mispredict,
+		PSNR:         res.PSNR,
+		SSIM:         res.SSIM,
+		BitrateKbps:  res.BitrateKbps,
+		Bytes:        res.Bytes,
+		WallSeconds:  res.Wall.Seconds(),
+		WorkerInsts:  res.WorkerInsts,
+	}
+	if mon.Branches > 0 {
+		c.BranchMissPct = 100 * mon.MissRate()
+	}
+	c.BranchMPKI = mon.MPKI(res.Insts)
+	c.L1DMPKI, c.L2MPKI, c.LLCMPKI = hier.MPKI(res.Insts)
+
+	cyc, fe, core := cycleModel(res.Insts, &res.Mix, mon.Mispredict, taken.taken, hier)
+	c.Cycles = cyc
+	if cyc > 0 {
+		c.IPC = float64(res.Insts) / float64(cyc)
+	}
+	td, err := topdown.FromCounters(topdown.Counters{
+		Instructions:          res.Insts,
+		Cycles:                cyc,
+		Width:                 4,
+		BranchMispredicts:     mon.Mispredict,
+		MispredictPenalty:     20,
+		L1DMisses:             hier.L1.Stats().Misses,
+		L2Misses:              hier.L2.Stats().Misses,
+		LLCMisses:             hier.LLC.Stats().Misses,
+		L1DLat:                8,
+		L2Lat:                 26,
+		LLCLat:                182,
+		FrontendStallCycles:   fe * 2 / 3, // redirect bubbles (latency)
+		FrontendBWStallCycles: fe / 3,     // fetch-group breaks (bandwidth)
+		CoreStallCycles:       core,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.TopDown = td
+	return c, nil
+}
+
+// cycleModel derives execution cycles from counters, the way top-down
+// practitioners reconstruct CPI stacks: a width-bound base, per-class
+// issue-port bounds, exposed memory latency (scaled by an out-of-order
+// overlap factor), branch-flush penalties and a frontend redirect term.
+func cycleModel(insts uint64, mix *trace.Mix, mispredicts, takenBranches uint64, h *cache.Hierarchy) (cycles, feStall, coreStall uint64) {
+	const width = 4
+	base := insts / width
+	// Issue-port bounds.
+	vec := (mix[trace.OpAVX] + mix[trace.OpSSE] + 1) / 2 // 2 vector units
+	lds := (mix[trace.OpLoad] + 1) / 2                   // 2 load ports
+	sts := mix[trace.OpStore]                            // 1 store port
+	portBound := base
+	for _, b := range []uint64{vec, lds, sts} {
+		if b > portBound {
+			portBound = b
+		}
+	}
+	// Dependence-chain core stalls: vector ops have 3-cycle latency and
+	// unrolled kernels keep several chains live, exposing ~1/8 of it.
+	coreStall = (mix[trace.OpAVX] + mix[trace.OpSSE]) * 3 / 8
+	coreStall += portBound - base // port contention is core-bound time
+
+	// Exposed memory latency: each level's miss pays the next level's
+	// latency delta; the OoO window hides ~3/4 of it.
+	l1m := h.L1.Stats().Misses
+	l2m := h.L2.Stats().Misses
+	llm := h.LLC.Stats().Misses
+	memStall := (l1m*8 + l2m*26 + llm*182) / 4
+
+	// Branch redirects: full flush plus refill on mispredict; taken
+	// branches break fetch groups and cost decode bubbles.
+	badSpec := mispredicts * 20
+	feStall = takenBranches * 3 / 2
+
+	cycles = base + coreStall + memStall + badSpec + feStall
+	return cycles, feStall, coreStall
+}

@@ -1,0 +1,193 @@
+package trace
+
+// BranchSink consumes dynamic conditional-branch events as they happen
+// (live branch-predictor simulation, the perf-counter substitute).
+type BranchSink interface {
+	Branch(pc PC, taken bool)
+}
+
+// MemSink consumes dynamic memory accesses as they happen (live cache
+// simulation, the perf-counter substitute).
+type MemSink interface {
+	Access(addr uint64, size int, store bool)
+}
+
+// Ctx is an instrumentation context. Kernels call its methods to report
+// the abstract instructions they execute. A nil *Ctx is valid and every
+// method is a cheap no-op on it, so un-instrumented runs (wall-clock
+// thread-scaling measurements) pay almost nothing.
+//
+// A Ctx always counts the instruction mix. Optional sinks add live
+// branch-predictor and cache simulation; an optional Recorder captures a
+// full micro-op window for out-of-order pipeline replay; an optional
+// Profile accumulates gprof-style per-function instruction counts.
+type Ctx struct {
+	Mix   Mix
+	total uint64
+
+	branchSinks []BranchSink
+	memSinks    []MemSink
+	rec         *Recorder
+	prof        *Profile
+
+	cur   FuncID
+	stack []FuncID
+}
+
+// New returns an empty counting context.
+func New() *Ctx { return &Ctx{} }
+
+// AttachBranchSink adds a live branch-event consumer.
+func (c *Ctx) AttachBranchSink(s BranchSink) { c.branchSinks = append(c.branchSinks, s) }
+
+// AttachMemSink adds a live memory-access consumer.
+func (c *Ctx) AttachMemSink(s MemSink) { c.memSinks = append(c.memSinks, s) }
+
+// AttachRecorder sets the micro-op recorder.
+func (c *Ctx) AttachRecorder(r *Recorder) { c.rec = r }
+
+// AttachProfile sets the per-function profile accumulator.
+func (c *Ctx) AttachProfile(p *Profile) { c.prof = p }
+
+// Total returns the dynamic instruction count seen so far.
+func (c *Ctx) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.total
+}
+
+// Op reports n non-memory, non-branch instructions of the given class.
+func (c *Ctx) Op(class OpClass, n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.Mix[class] += uint64(n)
+	c.account(uint64(n))
+	if c.rec != nil {
+		c.rec.ops(c.total-uint64(n), class, n)
+	}
+}
+
+// Loads reports count load instructions starting at addr with the given
+// byte stride, each loading size bytes.
+func (c *Ctx) Loads(pc PC, addr uint64, count, stride, size int) {
+	c.mem(pc, addr, count, stride, size, false)
+}
+
+// Stores reports count store instructions starting at addr with the
+// given byte stride, each storing size bytes.
+func (c *Ctx) Stores(pc PC, addr uint64, count, stride, size int) {
+	c.mem(pc, addr, count, stride, size, true)
+}
+
+func (c *Ctx) mem(pc PC, addr uint64, count, stride, size int, store bool) {
+	if c == nil || count <= 0 {
+		return
+	}
+	class := OpLoad
+	if store {
+		class = OpStore
+	}
+	c.Mix[class] += uint64(count)
+	c.account(uint64(count))
+	if len(c.memSinks) > 0 {
+		a := addr
+		for i := 0; i < count; i++ {
+			for _, s := range c.memSinks {
+				s.Access(a, size, store)
+			}
+			a += uint64(stride)
+		}
+	}
+	if c.rec != nil {
+		c.rec.mems(c.total-uint64(count), pc, addr, count, stride, size, store)
+	}
+}
+
+// Branch reports one conditional branch with its real outcome.
+func (c *Ctx) Branch(pc PC, taken bool) {
+	if c == nil {
+		return
+	}
+	c.Mix[OpBranch]++
+	c.account(1)
+	for _, s := range c.branchSinks {
+		s.Branch(pc, taken)
+	}
+	if c.rec != nil {
+		c.rec.branch(c.total-1, pc, taken)
+	}
+}
+
+// Loop reports the branch behaviour of a counted loop that executes
+// iters times: the backward branch is taken iters-1 times and finally
+// not taken. A zero-iteration loop reports one not-taken branch (the
+// guard test).
+func (c *Ctx) Loop(pc PC, iters int) {
+	if c == nil {
+		return
+	}
+	if iters < 1 {
+		c.Branch(pc, false)
+		return
+	}
+	n := uint64(iters)
+	c.Mix[OpBranch] += n
+	c.account(n)
+	if len(c.branchSinks) > 0 {
+		for i := 0; i < iters-1; i++ {
+			for _, s := range c.branchSinks {
+				s.Branch(pc, true)
+			}
+		}
+		for _, s := range c.branchSinks {
+			s.Branch(pc, false)
+		}
+	}
+	if c.rec != nil {
+		c.rec.loop(c.total-n, pc, iters)
+	}
+}
+
+// Enter records entry into a profiled function.
+func (c *Ctx) Enter(fn FuncID) {
+	if c == nil {
+		return
+	}
+	c.stack = append(c.stack, c.cur)
+	c.cur = fn
+	if c.prof != nil {
+		c.prof.call(fn)
+	}
+}
+
+// Leave records return from the current profiled function.
+func (c *Ctx) Leave() {
+	if c == nil || len(c.stack) == 0 {
+		return
+	}
+	c.cur = c.stack[len(c.stack)-1]
+	c.stack = c.stack[:len(c.stack)-1]
+}
+
+func (c *Ctx) account(n uint64) {
+	c.total += n
+	if c.prof != nil {
+		c.prof.ops(c.cur, n)
+	}
+}
+
+// Merge folds the counters of another context into c (used to combine
+// per-worker contexts after a parallel encode). Sinks and recorders are
+// not merged; workers share sinks only if the sinks are thread-safe.
+func (c *Ctx) Merge(o *Ctx) {
+	if c == nil || o == nil {
+		return
+	}
+	c.Mix.Add(&o.Mix)
+	c.total += o.total
+	if c.prof != nil && o.prof != nil && c.prof != o.prof {
+		c.prof.Merge(o.prof)
+	}
+}

@@ -1,0 +1,65 @@
+// Package trace is the instrumentation substrate that substitutes for
+// Intel Pin in the paper's methodology. Codec kernels perform their real
+// arithmetic in Go and simultaneously report abstract micro-ops to a
+// trace context: instruction-class counts (the paper's Table 2 mix),
+// branch events with synthetic program counters and real data-dependent
+// outcomes (for branch-prediction simulation), and memory accesses with
+// virtual addresses (for cache simulation). A context can count, stream
+// events to live simulators, and/or record full micro-op windows for
+// replay through the out-of-order pipeline model.
+package trace
+
+// OpClass classifies a dynamic instruction the way the paper's
+// Pin-based mix analysis does (Table 2): branches, loads, stores, AVX
+// (256-bit vector arithmetic), SSE (128-bit vector arithmetic), and
+// everything else (scalar ALU, control, address math).
+type OpClass uint8
+
+// Instruction classes. NumClasses bounds arrays indexed by OpClass.
+const (
+	OpBranch OpClass = iota
+	OpLoad
+	OpStore
+	OpAVX
+	OpSSE
+	OpOther
+	NumClasses
+)
+
+var opClassNames = [NumClasses]string{"Branch", "Load", "Store", "AVX", "SSE", "Other"}
+
+// String returns the class name used in report tables.
+func (c OpClass) String() string {
+	if int(c) < len(opClassNames) {
+		return opClassNames[c]
+	}
+	return "Invalid"
+}
+
+// Mix is a dynamic instruction-class histogram.
+type Mix [NumClasses]uint64
+
+// Total returns the dynamic instruction count across all classes.
+func (m *Mix) Total() uint64 {
+	var t uint64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Percent returns the share of class c in percent (0 if empty).
+func (m *Mix) Percent(c OpClass) float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(m[c]) / float64(t)
+}
+
+// Add accumulates another mix into m.
+func (m *Mix) Add(o *Mix) {
+	for i := range m {
+		m[i] += o[i]
+	}
+}

@@ -1,0 +1,396 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilCtxIsSafe(t *testing.T) {
+	var c *Ctx
+	c.Op(OpAVX, 10)
+	c.Loads(0, 0, 4, 1, 4)
+	c.Stores(0, 0, 4, 1, 4)
+	c.Branch(0, true)
+	c.Loop(0, 5)
+	c.Enter(0)
+	c.Leave()
+	c.Merge(New())
+	if c.Total() != 0 {
+		t.Error("nil ctx reported nonzero total")
+	}
+}
+
+func TestCtxCountsMix(t *testing.T) {
+	c := New()
+	c.Op(OpAVX, 10)
+	c.Op(OpSSE, 2)
+	c.Op(OpOther, 5)
+	c.Loads(Site("t/l"), 0x1000, 4, 16, 16)
+	c.Stores(Site("t/s"), 0x2000, 3, 16, 16)
+	c.Branch(Site("t/b"), true)
+	c.Loop(Site("t/loop"), 4)
+	if got := c.Mix[OpAVX]; got != 10 {
+		t.Errorf("AVX = %d, want 10", got)
+	}
+	if got := c.Mix[OpLoad]; got != 4 {
+		t.Errorf("Load = %d, want 4", got)
+	}
+	if got := c.Mix[OpStore]; got != 3 {
+		t.Errorf("Store = %d, want 3", got)
+	}
+	if got := c.Mix[OpBranch]; got != 5 {
+		t.Errorf("Branch = %d, want 5 (1 + loop of 4)", got)
+	}
+	if c.Total() != c.Mix.Total() {
+		t.Errorf("Total %d != Mix.Total %d", c.Total(), c.Mix.Total())
+	}
+	if c.Mix.Total() != 10+2+5+4+3+5 {
+		t.Errorf("Mix.Total = %d, want 29", c.Mix.Total())
+	}
+	if p := c.Mix.Percent(OpAVX); p < 34 || p > 35 {
+		t.Errorf("Percent(AVX) = %v, want ~34.5", p)
+	}
+}
+
+func TestMixPercentEmpty(t *testing.T) {
+	var m Mix
+	if m.Percent(OpLoad) != 0 {
+		t.Error("Percent on empty mix should be 0")
+	}
+}
+
+func TestSiteStableAndDistinct(t *testing.T) {
+	a := Site("pkg.fn/loop1")
+	b := Site("pkg.fn/loop2")
+	if a == b {
+		t.Error("distinct site names mapped to same PC")
+	}
+	if again := Site("pkg.fn/loop1"); again != a {
+		t.Error("same site name mapped to different PCs")
+	}
+	if SiteName(a) != "pkg.fn/loop1" {
+		t.Errorf("SiteName = %q", SiteName(a))
+	}
+	if a%16 != 0 {
+		t.Errorf("PC %#x not 16-byte aligned", uint64(a))
+	}
+}
+
+func TestFuncRegistry(t *testing.T) {
+	f1 := Func("encoder.EncodeFrame")
+	f2 := Func("motion.Search")
+	if f1 == f2 {
+		t.Error("distinct functions got same id")
+	}
+	if Func("encoder.EncodeFrame") != f1 {
+		t.Error("re-registration changed id")
+	}
+	if FuncName(f1) != "encoder.EncodeFrame" {
+		t.Errorf("FuncName = %q", FuncName(f1))
+	}
+	if FuncName(FuncID(1<<30)) != "" {
+		t.Error("unknown FuncID should yield empty name")
+	}
+}
+
+type branchCapture struct{ events []bool }
+
+func (b *branchCapture) Branch(pc PC, taken bool) { b.events = append(b.events, taken) }
+
+func TestLoopBranchPattern(t *testing.T) {
+	c := New()
+	cap := &branchCapture{}
+	c.AttachBranchSink(cap)
+	c.Loop(Site("t/loop2"), 5)
+	want := []bool{true, true, true, true, false}
+	if len(cap.events) != len(want) {
+		t.Fatalf("loop emitted %d events, want %d", len(cap.events), len(want))
+	}
+	for i := range want {
+		if cap.events[i] != want[i] {
+			t.Errorf("event %d = %v, want %v", i, cap.events[i], want[i])
+		}
+	}
+	cap.events = nil
+	c.Loop(Site("t/loop2"), 0)
+	if len(cap.events) != 1 || cap.events[0] != false {
+		t.Errorf("zero-iteration loop events = %v, want [false]", cap.events)
+	}
+}
+
+type memCapture struct {
+	addrs  []uint64
+	stores int
+}
+
+func (m *memCapture) Access(addr uint64, size int, store bool) {
+	m.addrs = append(m.addrs, addr)
+	if store {
+		m.stores++
+	}
+}
+
+func TestMemSinkStriding(t *testing.T) {
+	c := New()
+	cap := &memCapture{}
+	c.AttachMemSink(cap)
+	c.Loads(Site("t/mem"), 0x1000, 3, 64, 32)
+	c.Stores(Site("t/mem2"), 0x8000, 2, 16, 16)
+	wantAddrs := []uint64{0x1000, 0x1040, 0x1080, 0x8000, 0x8010}
+	if len(cap.addrs) != len(wantAddrs) {
+		t.Fatalf("got %d accesses, want %d", len(cap.addrs), len(wantAddrs))
+	}
+	for i, a := range wantAddrs {
+		if cap.addrs[i] != a {
+			t.Errorf("access %d addr %#x, want %#x", i, cap.addrs[i], a)
+		}
+	}
+	if cap.stores != 2 {
+		t.Errorf("stores = %d, want 2", cap.stores)
+	}
+}
+
+func TestRecorderWindow(t *testing.T) {
+	c := New()
+	rec := NewRecorder(5, 10)
+	c.AttachRecorder(rec)
+	c.Op(OpOther, 3)                      // idx 0..2, all before window
+	c.Loop(Site("t/rw"), 4)               // idx 3..6: 5 and 6 in window
+	c.Loads(Site("t/rl"), 0x100, 8, 4, 4) // idx 7..14 in window
+	c.Op(OpAVX, 20)                       // idx 15..34: 15..14? window is [5,15): no wait
+	// window [5, 15): AVX idx 15.. all outside except none.
+	if len(rec.Ops) != 10 {
+		t.Fatalf("recorded %d ops, want 10", len(rec.Ops))
+	}
+	// First two recorded are loop branches at idx 5 (taken) and 6 (not taken).
+	if !rec.Ops[0].IsBranch() || !rec.Ops[0].Taken {
+		t.Errorf("op 0 = %+v, want taken branch", rec.Ops[0])
+	}
+	if !rec.Ops[1].IsBranch() || rec.Ops[1].Taken {
+		t.Errorf("op 1 = %+v, want not-taken branch", rec.Ops[1])
+	}
+	for i := 2; i < 10; i++ {
+		if rec.Ops[i].Class != OpLoad {
+			t.Errorf("op %d class = %v, want Load", i, rec.Ops[i].Class)
+		}
+	}
+	if rec.Ops[2].Addr != 0x100 || rec.Ops[3].Addr != 0x104 {
+		t.Errorf("load addrs %#x,%#x want 0x100,0x104", rec.Ops[2].Addr, rec.Ops[3].Addr)
+	}
+	if !rec.Full() {
+		t.Error("recorder should report Full after window complete")
+	}
+	if n := len(rec.Branches()); n != 2 {
+		t.Errorf("Branches() = %d entries, want 2", n)
+	}
+}
+
+func TestProfileAttribution(t *testing.T) {
+	c := New()
+	p := NewProfile()
+	c.AttachProfile(p)
+	fEnc := Func("test.Encode")
+	fSad := Func("test.SAD")
+	c.Enter(fEnc)
+	c.Op(OpOther, 10)
+	c.Enter(fSad)
+	c.Op(OpAVX, 90)
+	c.Leave()
+	c.Op(OpOther, 5)
+	c.Leave()
+	flat := p.Flat()
+	if len(flat) != 2 {
+		t.Fatalf("profile has %d entries, want 2", len(flat))
+	}
+	if flat[0].Name != "test.SAD" || flat[0].Insts != 90 {
+		t.Errorf("hottest = %+v, want test.SAD with 90", flat[0])
+	}
+	if flat[1].Insts != 15 {
+		t.Errorf("test.Encode insts = %d, want 15", flat[1].Insts)
+	}
+	if p.Hottest() != "test.SAD" {
+		t.Errorf("Hottest = %q", p.Hottest())
+	}
+	if flat[0].Percent < 85 || flat[0].Percent > 86 {
+		t.Errorf("percent = %v, want ~85.7", flat[0].Percent)
+	}
+	if r := p.Render(); len(r) == 0 {
+		t.Error("Render returned empty string")
+	}
+}
+
+func TestCtxMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Op(OpAVX, 10)
+	b.Op(OpAVX, 5)
+	b.Branch(Site("t/m"), true)
+	a.Merge(b)
+	if a.Mix[OpAVX] != 15 || a.Mix[OpBranch] != 1 {
+		t.Errorf("merged mix = %+v", a.Mix)
+	}
+	if a.Total() != 16 {
+		t.Errorf("merged total = %d, want 16", a.Total())
+	}
+}
+
+func TestAddressSpace(t *testing.T) {
+	as := NewAddressSpace()
+	r1, err := as.Alloc("plane/Y", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := as.Alloc("plane/U", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Base%64 != 0 || r2.Base%64 != 0 {
+		t.Error("regions not cache-line aligned")
+	}
+	if r2.Base < r1.End() {
+		t.Errorf("regions overlap: %+v then %+v", r1, r2)
+	}
+	// Same name, same size: idempotent.
+	r1b, err := as.Alloc("plane/Y", 1000)
+	if err != nil || r1b != r1 {
+		t.Errorf("re-alloc returned %+v, %v; want %+v", r1b, err, r1)
+	}
+	// Same name, different size: error.
+	if _, err := as.Alloc("plane/Y", 2000); err == nil {
+		t.Error("conflicting re-alloc accepted")
+	}
+	if _, err := as.Alloc("bad", 0); err == nil {
+		t.Error("zero-size alloc accepted")
+	}
+	if got, ok := as.Lookup("plane/U"); !ok || got != r2 {
+		t.Errorf("Lookup = %+v, %v", got, ok)
+	}
+	if _, ok := as.Lookup("missing"); ok {
+		t.Error("Lookup found missing region")
+	}
+}
+
+func TestAddressSpaceNeverOverlaps(t *testing.T) {
+	as := NewAddressSpace()
+	var regions []Region
+	f := func(sz uint16) bool {
+		size := int(sz%4096) + 1
+		r, err := as.Alloc(string(rune('a'+len(regions)%26))+string(rune('0'+len(regions)/26)), size)
+		if err != nil {
+			return false
+		}
+		for _, prev := range regions {
+			if r.Base < prev.End() && prev.Base < r.End() {
+				return false
+			}
+		}
+		regions = append(regions, r)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceIORoundTrip(t *testing.T) {
+	ops := []MicroOp{
+		{PC: 0x400010, Class: OpBranch, Taken: true},
+		{PC: 0x400020, Addr: 0x12345678, Class: OpLoad, Size: 32},
+		{PC: 0x400030, Addr: 0xDEADBEEF, Class: OpStore, Size: 16},
+		{PC: 0x400040, Class: OpAVX},
+		{PC: 0x400050, Class: OpOther},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("round trip: %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Errorf("op %d = %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestTraceIORejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("NOTATRACE HEADER"))); err == nil {
+		t.Error("ReadTrace accepted bad magic")
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []MicroOp{{Class: OpAVX}}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+		t.Error("ReadTrace accepted truncated trace")
+	}
+	// Corrupt class byte.
+	full := buf.Bytes()
+	full[16+16] = 99
+	if _, err := ReadTrace(bytes.NewReader(full)); err == nil {
+		t.Error("ReadTrace accepted invalid op class")
+	}
+}
+
+func TestOpClassString(t *testing.T) {
+	if OpBranch.String() != "Branch" || OpAVX.String() != "AVX" {
+		t.Error("OpClass names wrong")
+	}
+	if OpClass(200).String() != "Invalid" {
+		t.Error("out-of-range class should be Invalid")
+	}
+}
+
+func TestBranchTraceRoundTrip(t *testing.T) {
+	ops := []MicroOp{
+		{PC: 0x400010, Class: OpBranch, Taken: true},
+		{PC: 0x400020, Addr: 0x1234, Class: OpLoad, Size: 8}, // filtered out
+		{PC: 0x400030, Class: OpBranch, Taken: false},
+		{PC: 0x400040, Class: OpAVX}, // filtered out
+		{PC: 0x400050, Class: OpBranch, Taken: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteBranchTrace(&buf, ops, 1234); err != nil {
+		t.Fatal(err)
+	}
+	got, window, err := ReadBranchTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if window != 1234 {
+		t.Errorf("window = %d, want 1234", window)
+	}
+	want := []MicroOp{
+		{PC: 0x400010, Class: OpBranch, Taken: true},
+		{PC: 0x400030, Class: OpBranch, Taken: false},
+		{PC: 0x400050, Class: OpBranch, Taken: true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d branches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("branch %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBranchTraceRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadBranchTrace(bytes.NewReader([]byte("VCTRWRONGFORMATHEADERDATA"))); err == nil {
+		t.Error("accepted wrong magic")
+	}
+	var buf bytes.Buffer
+	if err := WriteBranchTrace(&buf, []MicroOp{{Class: OpBranch, Taken: true}}, 10); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, _, err := ReadBranchTrace(bytes.NewReader(trunc)); err == nil {
+		t.Error("accepted truncated branch trace")
+	}
+}

@@ -1,0 +1,120 @@
+package bpred
+
+import (
+	"fmt"
+)
+
+// Perceptron is a hashed perceptron predictor (Jiménez & Lin), included
+// as an extension ablation: a third predictor family at equal budget to
+// compare against Gshare and TAGE.
+type Perceptron struct {
+	name    string
+	weights [][]int8 // rows × (histLen+1)
+	mask    uint64
+	histLen int
+	theta   int32
+	ghist   uint64
+	lastSum int32
+	size    int
+}
+
+// NewPerceptron builds a hashed perceptron with the given byte budget
+// (power of two).
+func NewPerceptron(sizeBytes int) (*Perceptron, error) {
+	if sizeBytes <= 0 || sizeBytes&(sizeBytes-1) != 0 {
+		return nil, fmt.Errorf("bpred: perceptron size %dB not a power of two", sizeBytes)
+	}
+	histLen := 24
+	rows := sizeBytes / (histLen + 1)
+	// Round rows down to a power of two.
+	p := 1
+	for p*2 <= rows {
+		p *= 2
+	}
+	rows = p
+	w := make([][]int8, rows)
+	for i := range w {
+		w[i] = make([]int8, histLen+1)
+	}
+	return &Perceptron{
+		name:    fmt.Sprintf("perceptron-%dKB", sizeBytes/1024),
+		weights: w,
+		mask:    uint64(rows - 1),
+		histLen: histLen,
+		theta:   int32(1.93*float64(histLen) + 14),
+		size:    rows * (histLen + 1) * 8,
+	}, nil
+}
+
+// Name implements Predictor.
+func (p *Perceptron) Name() string { return p.name }
+
+// SizeBits implements Predictor.
+func (p *Perceptron) SizeBits() int { return p.size }
+
+func (p *Perceptron) row(pc uint64) []int8 {
+	return p.weights[((pc>>2)^(pc>>13))&p.mask]
+}
+
+func (p *Perceptron) sum(pc uint64) int32 {
+	w := p.row(pc)
+	s := int32(w[0])
+	for i := 0; i < p.histLen; i++ {
+		if p.ghist>>uint(i)&1 == 1 {
+			s += int32(w[i+1])
+		} else {
+			s -= int32(w[i+1])
+		}
+	}
+	return s
+}
+
+// Predict implements Predictor.
+func (p *Perceptron) Predict(pc uint64) bool {
+	p.lastSum = p.sum(pc)
+	return p.lastSum >= 0
+}
+
+// Update implements Predictor.
+func (p *Perceptron) Update(pc uint64, taken bool) {
+	pred := p.lastSum >= 0
+	mag := p.lastSum
+	if mag < 0 {
+		mag = -mag
+	}
+	if pred != taken || mag <= p.theta {
+		w := p.row(pc)
+		adj := func(v int8, agree bool) int8 {
+			if agree {
+				if v < 127 {
+					return v + 1
+				}
+				return v
+			}
+			if v > -128 {
+				return v - 1
+			}
+			return v
+		}
+		w[0] = adj(w[0], taken)
+		for i := 0; i < p.histLen; i++ {
+			hbit := p.ghist>>uint(i)&1 == 1
+			w[i+1] = adj(w[i+1], hbit == taken)
+		}
+	}
+	p.ghist <<= 1
+	if taken {
+		p.ghist |= 1
+	}
+}
+
+// Reset implements Predictor.
+func (p *Perceptron) Reset() {
+	for i := range p.weights {
+		for j := range p.weights[i] {
+			p.weights[i][j] = 0
+		}
+	}
+	p.ghist = 0
+	p.lastSum = 0
+}

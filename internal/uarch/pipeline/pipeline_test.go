@@ -1,0 +1,271 @@
+package pipeline
+
+import (
+	"testing"
+
+	"vcprof/internal/trace"
+)
+
+func mkOps(n int, class trace.OpClass) []trace.MicroOp {
+	ops := make([]trace.MicroOp, n)
+	for i := range ops {
+		ops[i] = trace.MicroOp{PC: trace.PC(0x400000 + (i%64)*16), Class: class}
+		if class == trace.OpLoad || class == trace.OpStore {
+			ops[i].Addr = uint64(0x10000000 + i*8)
+			ops[i].Size = 8
+		}
+	}
+	return ops
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := Broadwell()
+	bad.Width = 0
+	if _, err := New(bad); err == nil {
+		t.Error("accepted zero width")
+	}
+	bad = Broadwell()
+	bad.LoadPorts = 0
+	if _, err := New(bad); err == nil {
+		t.Error("accepted zero load ports")
+	}
+	bad = Broadwell()
+	bad.Predictor = "nonsense"
+	if _, err := New(bad); err == nil {
+		t.Error("accepted unknown predictor")
+	}
+}
+
+func TestEmptyTraceRejected(t *testing.T) {
+	s, err := New(Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(nil); err == nil {
+		t.Error("accepted empty trace")
+	}
+}
+
+func TestIPCBoundedByWidth(t *testing.T) {
+	s, err := New(Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(mkOps(20000, trace.OpOther))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC > 4.0 {
+		t.Errorf("IPC %v exceeds machine width", res.IPC)
+	}
+	if res.IPC < 1.0 {
+		t.Errorf("IPC %v implausibly low for independent scalar ops", res.IPC)
+	}
+	if res.Ops != 20000 || res.Retired != 20000 {
+		t.Errorf("retired %d of %d ops", res.Retired, res.Ops)
+	}
+}
+
+func TestVectorThroughputLimitedByUnits(t *testing.T) {
+	s, err := New(Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(mkOps(20000, trace.OpAVX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two vector units → IPC cannot exceed 2 on pure AVX code.
+	if res.IPC > 2.01 {
+		t.Errorf("pure-AVX IPC %v exceeds 2 vector units", res.IPC)
+	}
+}
+
+func TestStreamingLoadsAreMemoryBound(t *testing.T) {
+	s, err := New(Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strided loads across 8MB: constant L1/L2 misses.
+	ops := make([]trace.MicroOp, 30000)
+	for i := range ops {
+		ops[i] = trace.MicroOp{PC: 0x400100, Class: trace.OpLoad,
+			Addr: uint64(0x20000000 + i*256), Size: 8}
+	}
+	res, err := s.Run(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L1DMPKI < 100 {
+		t.Errorf("streaming loads L1D MPKI = %v, want heavy misses", res.L1DMPKI)
+	}
+	if res.BackendSlots <= res.FrontendSlots {
+		t.Errorf("streaming loads not backend-dominated: backend=%d frontend=%d",
+			res.BackendSlots, res.FrontendSlots)
+	}
+	if res.IPC > 1.0 {
+		t.Errorf("streaming-miss IPC %v implausibly high", res.IPC)
+	}
+}
+
+func TestMispredictsCreateBadSpecSlots(t *testing.T) {
+	s, err := New(Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branches with effectively random direction (hash of index) are
+	// unpredictable; bad-speculation slots must appear.
+	ops := make([]trace.MicroOp, 20000)
+	st := uint64(0x1234)
+	for i := range ops {
+		// splitmix64: a nonlinear sequence no table predictor can learn.
+		st += 0x9E3779B97F4A7C15
+		z := st
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		ops[i] = trace.MicroOp{PC: 0x400200, Class: trace.OpBranch, Taken: (z^(z>>31))&1 == 1}
+	}
+	res, err := s.Run(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mispredicts < res.Branches/4 {
+		t.Errorf("random branches mispredicted only %d of %d", res.Mispredicts, res.Branches)
+	}
+	if res.BadSpecSlots == 0 {
+		t.Error("no bad-speculation slots despite mispredicts")
+	}
+	predictable, err := s.Run(mkOps(20000, trace.OpBranch)) // all not-taken
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predictable.BadSpecSlots >= res.BadSpecSlots {
+		t.Error("predictable branches produced as many bad-spec slots as random ones")
+	}
+}
+
+func TestSlotAccountingConsistent(t *testing.T) {
+	s, err := New(Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mixed stream resembling encoder work.
+	var ops []trace.MicroOp
+	for i := 0; i < 5000; i++ {
+		ops = append(ops,
+			trace.MicroOp{PC: 0x400300, Class: trace.OpLoad, Addr: uint64(0x30000000 + i*64), Size: 8},
+			trace.MicroOp{PC: 0x400310, Class: trace.OpAVX},
+			trace.MicroOp{PC: 0x400320, Class: trace.OpAVX},
+			trace.MicroOp{PC: 0x400330, Class: trace.OpOther},
+			trace.MicroOp{PC: 0x400340, Class: trace.OpStore, Addr: uint64(0x40000000 + i*8), Size: 8},
+			trace.MicroOp{PC: 0x400350, Class: trace.OpBranch, Taken: i%5 != 0},
+		)
+	}
+	res, err := s.Run(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.RetiringSlots + res.BadSpecSlots + res.FrontendSlots + res.BackendSlots; got != res.TotalSlots {
+		t.Errorf("slot classes sum to %d, total is %d", got, res.TotalSlots)
+	}
+	if res.TotalSlots != res.Cycles*4 {
+		t.Errorf("total slots %d != cycles %d × width", res.TotalSlots, res.Cycles)
+	}
+	if res.IPC <= 0 || res.IPC > 4 {
+		t.Errorf("IPC %v out of range", res.IPC)
+	}
+}
+
+func TestRunsAreIndependent(t *testing.T) {
+	s, err := New(Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := mkOps(5000, trace.OpLoad)
+	a, err := s.Run(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Mispredicts != b.Mispredicts || a.L1DMPKI != b.L1DMPKI {
+		t.Errorf("repeat run differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestFUPoolReserve(t *testing.T) {
+	p := newFUPool(2)
+	if got := p.reserve(10, 5); got != 10 {
+		t.Errorf("first reserve = %d, want 10", got)
+	}
+	if got := p.reserve(10, 5); got != 10 {
+		t.Errorf("second unit reserve = %d, want 10", got)
+	}
+	if got := p.reserve(10, 5); got != 15 {
+		t.Errorf("third reserve = %d, want 15 (both busy until 15)", got)
+	}
+}
+
+func TestPrefixCyclesMonotone(t *testing.T) {
+	// Simulating a prefix of a trace never takes longer than the whole
+	// trace: cycle accounting must be monotone in retired work.
+	s, err := New(Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []trace.MicroOp
+	for i := 0; i < 8000; i++ {
+		switch i % 4 {
+		case 0:
+			ops = append(ops, trace.MicroOp{PC: 0x400500, Class: trace.OpLoad, Addr: uint64(0x5000000 + i*32), Size: 8})
+		case 1:
+			ops = append(ops, trace.MicroOp{PC: 0x400510, Class: trace.OpAVX})
+		case 2:
+			ops = append(ops, trace.MicroOp{PC: 0x400520, Class: trace.OpBranch, Taken: i%3 == 0})
+		default:
+			ops = append(ops, trace.MicroOp{PC: 0x400530, Class: trace.OpOther})
+		}
+	}
+	prev := uint64(0)
+	for _, n := range []int{1000, 2000, 4000, 8000} {
+		res, err := s.Run(ops[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles <= prev {
+			t.Errorf("cycles(%d ops) = %d not above cycles of shorter prefix %d", n, res.Cycles, prev)
+		}
+		prev = res.Cycles
+	}
+}
+
+func TestBTBReducesTakenBranchBubbles(t *testing.T) {
+	// A hot taken branch re-executing from the BTB costs fewer frontend
+	// bubbles than a parade of cold taken branches.
+	s, err := New(Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := make([]trace.MicroOp, 10000)
+	for i := range hot {
+		hot[i] = trace.MicroOp{PC: 0x400600, Class: trace.OpBranch, Taken: true}
+	}
+	cold := make([]trace.MicroOp, 10000)
+	for i := range cold {
+		cold[i] = trace.MicroOp{PC: trace.PC(0x400000 + (i%8192)*64), Class: trace.OpBranch, Taken: true}
+	}
+	hres, err := s.Run(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := s.Run(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.FrontendSlots >= cres.FrontendSlots {
+		t.Errorf("hot-branch frontend slots (%d) not below cold-branch (%d): BTB not modeled",
+			hres.FrontendSlots, cres.FrontendSlots)
+	}
+}

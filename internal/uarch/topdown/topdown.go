@@ -1,0 +1,159 @@
+// Package topdown implements Yasin's top-down slot classification
+// (ISPASS 2014), the method the paper uses throughout §4.2–4.3: pipeline
+// slots are attributed to Retiring, Bad Speculation, Frontend Bound and
+// Backend Bound at level 1, with a level-2 split of the backend into
+// memory-bound and core-bound.
+//
+// Two producers feed it: the pipeline replay model (exact slot counts)
+// and the perf-counter façade (Yasin's formulas over event counts).
+package topdown
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Breakdown is a level-1 top-down result in slot fractions summing to 1.
+type Breakdown struct {
+	Retiring float64
+	BadSpec  float64
+	Frontend float64
+	Backend  float64
+	// Level-2 split of Backend.
+	MemoryBound float64
+	CoreBound   float64
+	// Level-2 split of Frontend: latency (icache/redirect bubbles) vs
+	// bandwidth (decode/delivery shortfalls).
+	FrontendLatency   float64
+	FrontendBandwidth float64
+}
+
+// Validate checks the invariants of a breakdown.
+func (b Breakdown) Validate() error {
+	sum := b.Retiring + b.BadSpec + b.Frontend + b.Backend
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("topdown: level-1 fractions sum to %v, want 1", sum)
+	}
+	for _, v := range []float64{b.Retiring, b.BadSpec, b.Frontend, b.Backend, b.MemoryBound, b.CoreBound} {
+		if v < -1e-9 || v > 1+1e-9 {
+			return fmt.Errorf("topdown: fraction %v out of [0,1]", v)
+		}
+	}
+	if d := b.MemoryBound + b.CoreBound - b.Backend; d > 0.001 || d < -0.001 {
+		return fmt.Errorf("topdown: level-2 split %v+%v does not equal backend %v",
+			b.MemoryBound, b.CoreBound, b.Backend)
+	}
+	if d := b.FrontendLatency + b.FrontendBandwidth - b.Frontend; d > 0.001 || d < -0.001 {
+		return fmt.Errorf("topdown: frontend split %v+%v does not equal frontend %v",
+			b.FrontendLatency, b.FrontendBandwidth, b.Frontend)
+	}
+	return nil
+}
+
+// String renders the breakdown as percentages.
+func (b Breakdown) String() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "retiring=%.1f%% badspec=%.1f%% frontend=%.1f%% backend=%.1f%% (mem=%.1f%% core=%.1f%%)",
+		100*b.Retiring, 100*b.BadSpec, 100*b.Frontend, 100*b.Backend,
+		100*b.MemoryBound, 100*b.CoreBound)
+	return s.String()
+}
+
+// FromSlots builds a breakdown from absolute slot counts (the pipeline
+// model's output). memStallCycles/coreStallCycles split the backend
+// proportionally.
+func FromSlots(total, retiring, badspec, frontend, backend uint64, memStall, coreStall uint64) (Breakdown, error) {
+	if total == 0 {
+		return Breakdown{}, fmt.Errorf("topdown: zero total slots")
+	}
+	if retiring+badspec+frontend+backend != total {
+		return Breakdown{}, fmt.Errorf("topdown: slot classes %d+%d+%d+%d != total %d",
+			retiring, badspec, frontend, backend, total)
+	}
+	b := Breakdown{
+		Retiring: float64(retiring) / float64(total),
+		BadSpec:  float64(badspec) / float64(total),
+		Frontend: float64(frontend) / float64(total),
+		Backend:  float64(backend) / float64(total),
+	}
+	if memStall+coreStall > 0 {
+		f := float64(memStall) / float64(memStall+coreStall)
+		b.MemoryBound = b.Backend * f
+		b.CoreBound = b.Backend - b.MemoryBound
+	} else {
+		b.CoreBound = b.Backend
+	}
+	// Slot-count producers (the pipeline model) report frontend stalls as
+	// whole-cycle bubbles, i.e. latency-bound.
+	b.FrontendLatency = b.Frontend
+	return b, b.Validate()
+}
+
+// Counters are the perf-style event counts Yasin's formulas consume.
+type Counters struct {
+	Instructions uint64
+	Cycles       uint64
+	Width        int // machine width (slots per cycle)
+	// UopsIssued approximates slots actually filled by the frontend;
+	// wasted issue slots beyond retirement come from wrong-path work.
+	BranchMispredicts uint64
+	MispredictPenalty int
+	// Memory stall contributors.
+	L1DMisses uint64
+	L2Misses  uint64
+	LLCMisses uint64
+	L1DLat    int // penalty cycles per miss level (hit latency of next level)
+	L2Lat     int
+	LLCLat    int
+	// FrontendStallCycles counts cycles with no uops delivered
+	// (latency-bound: icache misses and redirects).
+	FrontendStallCycles uint64
+	// FrontendBWStallCycles counts cycles with partial uop delivery
+	// (bandwidth-bound: decoder throughput, fetch-group breaks).
+	FrontendBWStallCycles uint64
+	// CoreStallCycles counts execution-resource stalls (FU contention,
+	// queue pressure) that are not memory misses.
+	CoreStallCycles uint64
+}
+
+// FromCounters applies the level-1 formulas to event counts, clamping
+// each category into the remaining budget in the canonical order
+// retiring → bad-spec → frontend → backend.
+func FromCounters(c Counters) (Breakdown, error) {
+	if c.Cycles == 0 || c.Width <= 0 {
+		return Breakdown{}, fmt.Errorf("topdown: counters missing cycles/width: %+v", c)
+	}
+	total := float64(c.Cycles) * float64(c.Width)
+	retiring := float64(c.Instructions) / total
+	if retiring > 1 {
+		retiring = 1
+	}
+	badspec := float64(c.BranchMispredicts) * float64(c.MispredictPenalty) * float64(c.Width) / total
+	if badspec > 1-retiring {
+		badspec = 1 - retiring
+	}
+	feLat := float64(c.FrontendStallCycles) * float64(c.Width) / total
+	feBW := float64(c.FrontendBWStallCycles) * float64(c.Width) / total
+	frontend := feLat + feBW
+	if frontend > 1-retiring-badspec {
+		scale := (1 - retiring - badspec) / frontend
+		feLat *= scale
+		feBW *= scale
+		frontend = 1 - retiring - badspec
+	}
+	backend := 1 - retiring - badspec - frontend
+	memStall := float64(c.L1DMisses)*float64(c.L1DLat) +
+		float64(c.L2Misses)*float64(c.L2Lat) +
+		float64(c.LLCMisses)*float64(c.LLCLat)
+	coreStall := float64(c.CoreStallCycles)
+	b := Breakdown{Retiring: retiring, BadSpec: badspec, Frontend: frontend, Backend: backend,
+		FrontendLatency: feLat, FrontendBandwidth: feBW}
+	if memStall+coreStall > 0 {
+		f := memStall / (memStall + coreStall)
+		b.MemoryBound = backend * f
+		b.CoreBound = backend - b.MemoryBound
+	} else {
+		b.CoreBound = backend
+	}
+	return b, b.Validate()
+}

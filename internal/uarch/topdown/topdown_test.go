@@ -1,0 +1,133 @@
+package topdown
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFromSlots(t *testing.T) {
+	b, err := FromSlots(1000, 500, 100, 150, 250, 300, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Retiring != 0.5 || b.BadSpec != 0.1 || b.Frontend != 0.15 || b.Backend != 0.25 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	if math.Abs(b.MemoryBound-0.25*0.75) > 1e-9 {
+		t.Errorf("memory bound = %v, want 0.1875", b.MemoryBound)
+	}
+	if err := b.Validate(); err != nil {
+		t.Error(err)
+	}
+	if !strings.Contains(b.String(), "retiring=50.0%") {
+		t.Errorf("String() = %q", b.String())
+	}
+}
+
+func TestFromSlotsErrors(t *testing.T) {
+	if _, err := FromSlots(0, 0, 0, 0, 0, 0, 0); err == nil {
+		t.Error("accepted zero slots")
+	}
+	if _, err := FromSlots(100, 50, 10, 10, 10, 0, 0); err == nil {
+		t.Error("accepted inconsistent slot classes")
+	}
+}
+
+func TestFromSlotsNoStallSplit(t *testing.T) {
+	b, err := FromSlots(100, 50, 0, 0, 50, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.CoreBound != b.Backend || b.MemoryBound != 0 {
+		t.Errorf("with no stall data backend should be core-bound: %+v", b)
+	}
+}
+
+func TestFromCounters(t *testing.T) {
+	c := Counters{
+		Instructions: 2_000_000, Cycles: 1_000_000, Width: 4,
+		BranchMispredicts: 10_000, MispredictPenalty: 16,
+		L1DMisses: 50_000, L2Misses: 20_000, LLCMisses: 1000,
+		L1DLat: 12, L2Lat: 38, LLCLat: 220,
+		FrontendStallCycles: 100_000,
+		CoreStallCycles:     200_000,
+	}
+	b, err := FromCounters(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Retiring-0.5) > 1e-9 {
+		t.Errorf("retiring = %v, want 0.5 (IPC 2 on 4-wide)", b.Retiring)
+	}
+	if b.BadSpec <= 0 || b.Frontend <= 0 || b.Backend <= 0 {
+		t.Errorf("expected all categories positive: %+v", b)
+	}
+	if b.MemoryBound <= b.CoreBound {
+		t.Errorf("heavy cache misses should dominate: %+v", b)
+	}
+}
+
+func TestFromCountersClamping(t *testing.T) {
+	// Absurd counter values must clamp, not blow past 1.
+	c := Counters{
+		Instructions: 10_000_000, Cycles: 1_000_000, Width: 4,
+		BranchMispredicts: 10_000_000, MispredictPenalty: 20,
+		FrontendStallCycles: 10_000_000,
+	}
+	b, err := FromCounters(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("clamped breakdown invalid: %v (%+v)", err, b)
+	}
+}
+
+func TestFromCountersErrors(t *testing.T) {
+	if _, err := FromCounters(Counters{}); err == nil {
+		t.Error("accepted empty counters")
+	}
+}
+
+func TestValidateCatchesBadFractions(t *testing.T) {
+	b := Breakdown{Retiring: 0.5, BadSpec: 0.5, Frontend: 0.5, Backend: -0.5, CoreBound: -0.5}
+	if err := b.Validate(); err == nil {
+		t.Error("accepted negative fraction")
+	}
+	b = Breakdown{Retiring: 0.2, BadSpec: 0.2, Frontend: 0.2, Backend: 0.2}
+	if err := b.Validate(); err == nil {
+		t.Error("accepted fractions not summing to 1")
+	}
+}
+
+func TestFrontendLevel2Split(t *testing.T) {
+	c := Counters{
+		Instructions: 1_000_000, Cycles: 1_000_000, Width: 4,
+		FrontendStallCycles:   120_000,
+		FrontendBWStallCycles: 60_000,
+		CoreStallCycles:       100_000,
+	}
+	b, err := FromCounters(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FrontendLatency <= b.FrontendBandwidth {
+		t.Errorf("latency (%v) not above bandwidth (%v) for 2:1 stall counters",
+			b.FrontendLatency, b.FrontendBandwidth)
+	}
+	if d := b.FrontendLatency + b.FrontendBandwidth - b.Frontend; d > 1e-9 || d < -1e-9 {
+		t.Errorf("frontend split does not sum: %v + %v != %v",
+			b.FrontendLatency, b.FrontendBandwidth, b.Frontend)
+	}
+	// Clamped case keeps the split proportional.
+	c.FrontendStallCycles = 10_000_000
+	c.FrontendBWStallCycles = 5_000_000
+	b, err = FromCounters(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package video
+
+import "math"
+
+// MeasureEntropy estimates a clip's content complexity on the 0–8 scale
+// vbench uses, from the Shannon entropy of spatial gradients and
+// temporal frame differences. It validates the procedural generator:
+// measured entropy must rank clips in the catalog's order.
+func MeasureEntropy(c *Clip) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	spatial := histogramEntropy(spatialGradients(c))
+	temporal := 0.0
+	if len(c.Frames) > 1 {
+		temporal = histogramEntropy(temporalDiffs(c))
+	}
+	// Blend spatial detail and temporal activity; both are 0..8 bits.
+	return 0.5*spatial + 0.5*temporal, nil
+}
+
+// spatialGradients collects |dx| values of the first frame's luma.
+func spatialGradients(c *Clip) []int {
+	y := c.Frames[0].Y
+	out := make([]int, 0, (y.W-1)*y.H)
+	for r := 0; r < y.H; r++ {
+		row := y.Row(r)
+		for x := 1; x < y.W; x++ {
+			d := int(row[x]) - int(row[x-1])
+			if d < 0 {
+				d = -d
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// temporalDiffs collects |Δt| values between consecutive luma frames.
+func temporalDiffs(c *Clip) []int {
+	var out []int
+	for i := 1; i < len(c.Frames); i++ {
+		a, b := c.Frames[i-1].Y, c.Frames[i].Y
+		for j := range a.Pix {
+			d := int(a.Pix[j]) - int(b.Pix[j])
+			if d < 0 {
+				d = -d
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// histogramEntropy returns the Shannon entropy (bits) of a sample set
+// of byte-range magnitudes.
+func histogramEntropy(samples []int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var hist [256]int
+	for _, s := range samples {
+		if s > 255 {
+			s = 255
+		}
+		hist[s]++
+	}
+	total := float64(len(samples))
+	h := 0.0
+	for _, n := range hist {
+		if n == 0 {
+			continue
+		}
+		p := float64(n) / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}

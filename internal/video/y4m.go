@@ -1,0 +1,125 @@
+package video
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Y4M (YUV4MPEG2) is the raw-video interchange format the vbench suite
+// distributes its clips in. WriteY4M/ReadY4M implement the 4:2:0 subset
+// so procedural clips can be exported for external tools and real clips
+// can be imported in place of the generator.
+
+// WriteY4M serializes the clip as YUV4MPEG2 (C420, progressive).
+func WriteY4M(w io.Writer, clip *Clip) error {
+	if err := clip.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fps := clip.Meta.FPS
+	if fps <= 0 {
+		fps = 30
+	}
+	f := clip.Frames[0]
+	if _, err := fmt.Fprintf(bw, "YUV4MPEG2 W%d H%d F%d:1 Ip A1:1 C420\n",
+		f.Width(), f.Height(), fps); err != nil {
+		return err
+	}
+	for _, fr := range clip.Frames {
+		if _, err := bw.WriteString("FRAME\n"); err != nil {
+			return err
+		}
+		for _, p := range []*Plane{fr.Y, fr.U, fr.V} {
+			for y := 0; y < p.H; y++ {
+				if _, err := bw.Write(p.Row(y)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadY4M parses a YUV4MPEG2 stream (C420 only) into a clip. The name
+// labels the resulting metadata; entropy is left zero (unknown).
+func ReadY4M(r io.Reader, name string) (*Clip, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("video: y4m header: %w", err)
+	}
+	fields := strings.Fields(strings.TrimSpace(header))
+	if len(fields) == 0 || fields[0] != "YUV4MPEG2" {
+		return nil, fmt.Errorf("video: not a YUV4MPEG2 stream")
+	}
+	meta := ClipMeta{Name: name, FPS: 30}
+	for _, f := range fields[1:] {
+		if len(f) < 2 {
+			continue
+		}
+		switch f[0] {
+		case 'W':
+			if meta.Width, err = strconv.Atoi(f[1:]); err != nil {
+				return nil, fmt.Errorf("video: y4m width: %w", err)
+			}
+		case 'H':
+			if meta.Height, err = strconv.Atoi(f[1:]); err != nil {
+				return nil, fmt.Errorf("video: y4m height: %w", err)
+			}
+		case 'F':
+			parts := strings.SplitN(f[1:], ":", 2)
+			num, err := strconv.Atoi(parts[0])
+			if err != nil {
+				return nil, fmt.Errorf("video: y4m frame rate: %w", err)
+			}
+			den := 1
+			if len(parts) == 2 {
+				if den, err = strconv.Atoi(parts[1]); err != nil || den <= 0 {
+					return nil, fmt.Errorf("video: y4m frame rate denominator %q", parts[1])
+				}
+			}
+			meta.FPS = num / den
+		case 'C':
+			if f[1:] != "420" && f[1:] != "420jpeg" && f[1:] != "420mpeg2" {
+				return nil, fmt.Errorf("video: unsupported y4m chroma %q (only C420)", f[1:])
+			}
+		}
+	}
+	if meta.Width <= 0 || meta.Height <= 0 || meta.Width%2 != 0 || meta.Height%2 != 0 {
+		return nil, fmt.Errorf("video: invalid y4m geometry %dx%d", meta.Width, meta.Height)
+	}
+	clip := &Clip{Meta: meta}
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF && line == "" {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("video: y4m frame header: %w", err)
+		}
+		if !strings.HasPrefix(line, "FRAME") {
+			return nil, fmt.Errorf("video: malformed y4m frame marker %q", strings.TrimSpace(line))
+		}
+		fr, err := NewFrame(meta.Width, meta.Height)
+		if err != nil {
+			return nil, err
+		}
+		fr.Index = len(clip.Frames)
+		for _, p := range []*Plane{fr.Y, fr.U, fr.V} {
+			if _, err := io.ReadFull(br, p.Pix); err != nil {
+				return nil, fmt.Errorf("video: y4m frame %d truncated: %w", fr.Index, err)
+			}
+		}
+		clip.Frames = append(clip.Frames, fr)
+		if len(clip.Frames) > 100000 {
+			return nil, fmt.Errorf("video: y4m stream implausibly long")
+		}
+	}
+	if len(clip.Frames) == 0 {
+		return nil, ErrNoFrames
+	}
+	return clip, nil
+}

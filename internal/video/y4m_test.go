@@ -1,0 +1,140 @@
+package video
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestY4MRoundTrip(t *testing.T) {
+	meta, err := LookupClip("game2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip, err := Generate(meta, GenerateOptions{Frames: 3, ScaleDiv: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, clip); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadY4M(&buf, "game2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Frames) != 3 {
+		t.Fatalf("%d frames, want 3", len(got.Frames))
+	}
+	if got.Meta.Width != clip.Meta.Width || got.Meta.Height != clip.Meta.Height || got.Meta.FPS != clip.Meta.FPS {
+		t.Errorf("meta %+v, want %+v", got.Meta, clip.Meta)
+	}
+	for i := range clip.Frames {
+		for _, pl := range []struct{ a, b *Plane }{
+			{clip.Frames[i].Y, got.Frames[i].Y},
+			{clip.Frames[i].U, got.Frames[i].U},
+			{clip.Frames[i].V, got.Frames[i].V},
+		} {
+			if !bytes.Equal(pl.a.Pix, pl.b.Pix) {
+				t.Fatalf("frame %d plane bytes differ", i)
+			}
+		}
+	}
+}
+
+func TestY4MHeaderValidation(t *testing.T) {
+	cases := []string{
+		"MPEG4 W64 H64 F30:1\nFRAME\n",     // bad magic
+		"YUV4MPEG2 W0 H64 F30:1\n",         // zero width
+		"YUV4MPEG2 W63 H64 F30:1\n",        // odd width
+		"YUV4MPEG2 W64 H64 F30:1 C444\n",   // unsupported chroma
+		"YUV4MPEG2 W64 H64 F30:0\n",        // zero denominator
+		"YUV4MPEG2 W64 H64 F30:1\nBOGUS\n", // bad frame marker
+		"YUV4MPEG2 W64 H64 F30:1\n",        // no frames
+	}
+	for _, c := range cases {
+		if _, err := ReadY4M(strings.NewReader(c), "x"); err == nil {
+			t.Errorf("accepted malformed stream %q", c[:min(len(c), 40)])
+		}
+	}
+	// Truncated frame payload.
+	trunc := "YUV4MPEG2 W64 H64 F30:1 C420\nFRAME\nshortpayload"
+	if _, err := ReadY4M(strings.NewReader(trunc), "x"); err == nil {
+		t.Error("accepted truncated frame payload")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestY4MFrameRateFraction(t *testing.T) {
+	// 30000:1001 NTSC rates truncate to 29 fps.
+	hdr := "YUV4MPEG2 W32 H32 F30000:1001 C420\nFRAME\n" + strings.Repeat("\x80", 32*32*3/2)
+	clip, err := ReadY4M(strings.NewReader(hdr), "ntsc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clip.Meta.FPS != 29 {
+		t.Errorf("FPS = %d, want 29", clip.Meta.FPS)
+	}
+}
+
+func TestMeasureEntropyRanksClips(t *testing.T) {
+	// The generator must produce content whose *measured* entropy ranks
+	// clips consistently with the vbench catalog values it was given.
+	names := []string{"desktop", "bike", "game1", "hall"}
+	type point struct {
+		name     string
+		catalog  float64
+		measured float64
+	}
+	var pts []point
+	for _, n := range names {
+		meta, err := LookupClip(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clip, err := Generate(meta, GenerateOptions{Frames: 4, ScaleDiv: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := MeasureEntropy(clip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, point{n, meta.Entropy, m})
+	}
+	byCatalog := append([]point{}, pts...)
+	sort.Slice(byCatalog, func(i, j int) bool { return byCatalog[i].catalog < byCatalog[j].catalog })
+	byMeasured := append([]point{}, pts...)
+	sort.Slice(byMeasured, func(i, j int) bool { return byMeasured[i].measured < byMeasured[j].measured })
+	for i := range byCatalog {
+		if byCatalog[i].name != byMeasured[i].name {
+			var co, mo []string
+			for _, p := range byCatalog {
+				co = append(co, p.name)
+			}
+			for _, p := range byMeasured {
+				mo = append(mo, p.name)
+			}
+			t.Fatalf("entropy ranking mismatch: catalog order %v, measured order %v", co, mo)
+		}
+	}
+	// Values live on a sane scale.
+	for _, p := range pts {
+		if p.measured < 0 || p.measured > 8 {
+			t.Errorf("%s measured entropy %v out of [0, 8]", p.name, p.measured)
+		}
+	}
+}
+
+func TestMeasureEntropyValidation(t *testing.T) {
+	if _, err := MeasureEntropy(&Clip{}); err == nil {
+		t.Error("accepted empty clip")
+	}
+}
