@@ -1,0 +1,37 @@
+# CI entry points. `make ci` is the gate: formatting, vet, build, the
+# full test suite, and the race pass over the concurrent packages
+# (harness engine + encoders). The race pass re-runs the golden and
+# equivalence suites under the detector, so it gets a long timeout.
+
+GO ?= go
+RACE_TIMEOUT ?= 60m
+
+.PHONY: ci fmt vet build test race golden bench
+
+ci: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/harness ./internal/encoders
+
+# Regenerate the golden regression tables after an intentional change,
+# then review the diff under internal/harness/testdata/golden/.
+golden:
+	$(GO) test ./internal/harness -run TestGoldenTables -update
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -8,6 +8,8 @@
 package vcprof
 
 import (
+	"context"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -32,7 +34,10 @@ func benchScale() harness.Scale {
 }
 
 // runExperiment executes a registered experiment b.N times and reports
-// a headline metric from its first table.
+// a headline metric from its first table. The cell memo cache is
+// cleared each iteration so the benchmark measures uncached experiment
+// cost (matching the pre-engine semantics); generated clips stay
+// cached, as before.
 func runExperiment(b *testing.B, id string, metric func(tabs []*harness.Table) (string, float64)) {
 	b.Helper()
 	e, err := harness.Lookup(id)
@@ -43,6 +48,7 @@ func runExperiment(b *testing.B, id string, metric func(tabs []*harness.Table) (
 	var tabs []*harness.Table
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		harness.ResetCellCache()
 		tabs, err = e.Run(s)
 		if err != nil {
 			b.Fatal(err)
@@ -52,6 +58,36 @@ func runExperiment(b *testing.B, id string, metric func(tabs []*harness.Table) (
 	if metric != nil && len(tabs) > 0 {
 		name, v := metric(tabs)
 		b.ReportMetric(v, name)
+	}
+}
+
+// BenchmarkRunAllMemoized measures a full engine pass over every
+// experiment with a warm memo cache primed by one cold pass: the
+// regenerate-everything cost when cells are shared across experiments.
+func BenchmarkRunAllMemoized(b *testing.B) {
+	s := benchScale()
+	harness.ResetCellCache()
+	if _, err := harness.RunAll(context.Background(), s, harness.Options{Workers: runtime.GOMAXPROCS(0)}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunAll(context.Background(), s, harness.Options{Workers: runtime.GOMAXPROCS(0)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllCold measures the same full pass with the memo cache
+// cleared every iteration — the denominator of the cache's speedup.
+func BenchmarkRunAllCold(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		harness.ResetCellCache()
+		if _, err := harness.RunAll(context.Background(), s, harness.Options{Workers: runtime.GOMAXPROCS(0)}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,6 +1,9 @@
-// Command repro regenerates the paper's tables and figures. Each
-// experiment prints one or more aligned text tables; -csv writes them as
-// CSV files instead.
+// Command repro regenerates the paper's tables and figures through the
+// harness experiment engine. Each experiment prints one or more aligned
+// text tables; -csv writes them as CSV files instead. Cells shared
+// between experiments (the SVT-AV1 CRF grid feeds figs 2b and 4–7) are
+// measured once per process, and -j fans independent cells out across
+// a bounded worker pool.
 //
 // Usage:
 //
@@ -8,13 +11,17 @@
 //	repro fig1 fig4              # run selected experiments
 //	repro -quick all             # everything at the fast scale
 //	repro -csv out/ fig8         # write CSVs to out/
+//	repro -j 8 -v all            # 8 workers, per-experiment stats
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 
 	"vcprof/internal/harness"
 )
@@ -28,9 +35,11 @@ func main() {
 
 func run() error {
 	var (
-		quick  = flag.Bool("quick", false, "use the fast three-clip scale")
-		csvDir = flag.String("csv", "", "write CSV files into this directory instead of printing")
-		list   = flag.Bool("list", false, "list experiments and exit")
+		quick   = flag.Bool("quick", false, "use the fast three-clip scale")
+		csvDir  = flag.String("csv", "", "write CSV files into this directory instead of printing")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		workers = flag.Int("j", runtime.NumCPU(), "max concurrent cell measurements")
+		verbose = flag.Bool("v", false, "report per-experiment wall time and cache hits")
 	)
 	flag.Parse()
 
@@ -45,10 +54,7 @@ func run() error {
 		return fmt.Errorf("no experiments given (use -list, or 'all')")
 	}
 	if len(ids) == 1 && ids[0] == "all" {
-		ids = nil
-		for _, e := range harness.List() {
-			ids = append(ids, e.ID)
-		}
+		ids = nil // RunAll's default: every registered experiment
 	}
 	scale := harness.DefaultScale()
 	if *quick {
@@ -59,27 +65,37 @@ func run() error {
 			return err
 		}
 	}
-	for _, id := range ids {
-		e, err := harness.Lookup(id)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Title)
-		tables, err := e.Run(scale)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		for _, t := range tables {
-			if *csvDir != "" {
-				path := filepath.Join(*csvDir, t.ID+".csv")
-				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-					return err
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := harness.RunAll(ctx, scale, harness.Options{Workers: *workers, Experiments: ids})
+	if rep != nil {
+		for _, er := range rep.Results {
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "%-20s %8.2fs  cells=%-3d hits=%d\n",
+					er.ID, er.Wall.Seconds(), er.Cells, er.CacheHits)
+			}
+			for _, t := range er.Tables {
+				if *csvDir != "" {
+					path := filepath.Join(*csvDir, t.ID+".csv")
+					if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+						return err
+					}
+					fmt.Fprintf(os.Stderr, "  wrote %s\n", path)
+				} else {
+					fmt.Println(t.Render())
 				}
-				fmt.Fprintf(os.Stderr, "  wrote %s\n", path)
-			} else {
-				fmt.Println(t.Render())
 			}
 		}
+	}
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		st := harness.CellCacheStats()
+		fmt.Fprintf(os.Stderr, "total %.2fs  workers=%d  cache: %d hits / %d misses (%d entries, weight %d/%d)\n",
+			rep.Wall.Seconds(), rep.Workers, st.Hits, st.Misses, st.Entries, st.Weight, st.Cap)
 	}
 	return nil
 }

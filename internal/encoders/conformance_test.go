@@ -17,20 +17,20 @@ var updateGolden = flag.Bool("update", false, "regenerate the conformance corpus
 // conformancePoint is one corpus entry: an encode configuration plus
 // the expected bitstream and reconstruction digests.
 type conformancePoint struct {
-	Name    string  `json:"name"`
-	Family  Family  `json:"family"`
-	Clip    string  `json:"clip"`
-	Frames  int     `json:"frames"`
-	Scale   int     `json:"scale"`
-	CRF     int     `json:"crf"`
-	Preset  int     `json:"preset"`
-	Kbps    float64 `json:"kbps,omitempty"`
-	KeyInt  int     `json:"key_interval,omitempty"`
-	Cut     int     `json:"cut,omitempty"`
-	Scene   bool    `json:"scenecut,omitempty"`
-	Stream  string  `json:"stream_sha256"`
-	Recon   string  `json:"recon_sha256"`
-	Bytes   int     `json:"bytes"`
+	Name   string  `json:"name"`
+	Family Family  `json:"family"`
+	Clip   string  `json:"clip"`
+	Frames int     `json:"frames"`
+	Scale  int     `json:"scale"`
+	CRF    int     `json:"crf"`
+	Preset int     `json:"preset"`
+	Kbps   float64 `json:"kbps,omitempty"`
+	KeyInt int     `json:"key_interval,omitempty"`
+	Cut    int     `json:"cut,omitempty"`
+	Scene  bool    `json:"scenecut,omitempty"`
+	Stream string  `json:"stream_sha256"`
+	Recon  string  `json:"recon_sha256"`
+	Bytes  int     `json:"bytes"`
 }
 
 // conformanceConfigs defines the corpus. Changing encoder behaviour

@@ -1,0 +1,190 @@
+// The experiment engine: every experiment declares its measurement grid
+// as a slice of Cells plus a deterministic assembly function; the engine
+// fans the cells out across a bounded worker pool, memoizes every cell
+// process-wide (fig4–fig7 and the RD/preset sweeps share their SVT-AV1
+// stat cells instead of recomputing them), and gathers results by cell
+// index so rendered tables are byte-identical for any worker count.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Plan is an experiment lowered to the engine's form: the cell grid to
+// measure and a pure assembly function that turns the measured results
+// (indexed exactly like Cells) into rendered tables. Assemble must not
+// mutate the results, which are shared across experiments.
+type Plan struct {
+	Cells    []Cell
+	Assemble func(s Scale, res []CellResult) ([]*Table, error)
+}
+
+// Options configures an engine run.
+type Options struct {
+	// Workers bounds concurrent cell evaluations (<=0 means 1).
+	Workers int
+	// Experiments selects a subset by ID (nil/empty = all registered).
+	Experiments []string
+}
+
+// ExperimentReport is the per-experiment slice of a Report.
+type ExperimentReport struct {
+	ID        string
+	Title     string
+	Tables    []*Table
+	Wall      time.Duration
+	Cells     int // grid size
+	CacheHits int // cells satisfied by the memo cache
+}
+
+// Report is the outcome of RunAll: tables in registry order plus
+// wall-clock and cache-hit accounting.
+type Report struct {
+	Results []ExperimentReport
+	Wall    time.Duration
+	Workers int
+}
+
+// Tables flattens the report in experiment order.
+func (r *Report) Tables() []*Table {
+	var out []*Table
+	for _, er := range r.Results {
+		out = append(out, er.Tables...)
+	}
+	return out
+}
+
+// RunAll executes the selected experiments at the given scale.
+// Experiments run in registry order; each experiment's cell grid fans
+// out across at most opts.Workers goroutines. The first cell error
+// cancels the run and is returned wrapped with its experiment ID.
+// Cancelling ctx stops new cells from starting.
+func RunAll(ctx context.Context, s Scale, opts Options) (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var exps []Experiment
+	if len(opts.Experiments) == 0 {
+		exps = List()
+	} else {
+		for _, id := range opts.Experiments {
+			e, err := Lookup(id)
+			if err != nil {
+				return nil, err
+			}
+			exps = append(exps, e)
+		}
+	}
+	rep := &Report{Workers: workers}
+	start := time.Now()
+	for _, e := range exps {
+		t0 := time.Now()
+		tables, cells, hits, err := runExperiment(ctx, e, s, workers)
+		if err != nil {
+			return rep, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		rep.Results = append(rep.Results, ExperimentReport{
+			ID: e.ID, Title: e.Title, Tables: tables,
+			Wall: time.Since(t0), Cells: cells, CacheHits: hits,
+		})
+	}
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// runExperiment plans and executes one experiment.
+func runExperiment(ctx context.Context, e Experiment, s Scale, workers int) ([]*Table, int, int, error) {
+	if e.Plan == nil {
+		return nil, 0, 0, fmt.Errorf("harness: experiment %s has no plan", e.ID)
+	}
+	p, err := e.Plan(s)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	res, hits, err := runCells(ctx, p.Cells, workers)
+	if err != nil {
+		return nil, len(p.Cells), hits, err
+	}
+	tables, err := p.Assemble(s, res)
+	return tables, len(p.Cells), hits, err
+}
+
+// runCells evaluates a cell grid on a bounded pool. Results land at
+// their cell's index regardless of completion order, which is what
+// makes assembly deterministic. Returns the cache-hit count and the
+// first error (after all started cells drain).
+func runCells(ctx context.Context, cells []Cell, workers int) ([]CellResult, int, error) {
+	res := make([]CellResult, len(cells))
+	if len(cells) == 0 {
+		return res, 0, ctx.Err()
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, workers)
+	var (
+		wg       sync.WaitGroup
+		hits     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+submit:
+	for i := range cells {
+		select {
+		case <-cctx.Done():
+			break submit
+		case sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r, hit, err := getCell(cells[i])
+			if err != nil {
+				fail(fmt.Errorf("cell %s: %w", cells[i], err))
+				return
+			}
+			if hit {
+				hits.Add(1)
+			}
+			res[i] = r
+		}(i)
+	}
+	wg.Wait()
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		return nil, int(hits.Load()), err
+	}
+	return res, int(hits.Load()), nil
+}
+
+// Run executes the experiment single-threaded at the given scale — the
+// pre-engine entry point, kept for tests, benchmarks and examples. Cell
+// results still flow through the process-wide memo cache.
+func (e Experiment) Run(s Scale) ([]*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tables, _, _, err := runExperiment(context.Background(), e, s, 1)
+	return tables, err
+}

@@ -5,210 +5,174 @@ import (
 
 	"vcprof/internal/cbp"
 	"vcprof/internal/encoders"
-	"vcprof/internal/perf"
 	"vcprof/internal/trace"
 	"vcprof/internal/uarch/cache"
 )
 
 func init() {
-	register(Experiment{ID: "ablation-partition", Title: "Partition-space ablation: AV1's 10 shapes vs a VP9-like 4", Run: runAblationPartition})
-	register(Experiment{ID: "ablation-predictor", Title: "Predictor-family ablation at equal budget (gshare/TAGE/perceptron)", Run: runAblationPredictor})
-	register(Experiment{ID: "ablation-cache", Title: "Cache-geometry ablation on an encoder access stream", Run: runAblationCache})
-	register(Experiment{ID: "ablation-motion", Title: "Motion-search ablation: hex vs diamond vs full", Run: runAblationMotion})
-	register(Experiment{ID: "ablation-prefetch", Title: "L2 prefetcher ablation on an encoder access stream", Run: runAblationPrefetch})
+	register(Experiment{ID: "ablation-partition", Title: "Partition-space ablation: AV1's 10 shapes vs a VP9-like 4", Plan: planAblationPartition})
+	register(Experiment{ID: "ablation-predictor", Title: "Predictor-family ablation at equal budget (gshare/TAGE/perceptron)", Plan: planAblationPredictor})
+	register(Experiment{ID: "ablation-cache", Title: "Cache-geometry ablation on an encoder access stream", Plan: planAblationCache})
+	register(Experiment{ID: "ablation-motion", Title: "Motion-search ablation: hex vs diamond vs full", Plan: planAblationMotion})
+	register(Experiment{ID: "ablation-prefetch", Title: "L2 prefetcher ablation on an encoder access stream", Plan: planAblationPrefetch})
 }
 
-// runAblationPartition isolates the paper's central claim — the AV1
+// planAblationPartition isolates the paper's central claim — the AV1
 // runtime gap is search-space driven — by comparing the SVT-AV1 model
 // (10 partition shapes) with the VP9 model (4 shapes) at the same CRF
 // point, where everything else in the toolkit is shared code.
-func runAblationPartition(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	clip, err := s.Clip("game1")
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{ID: "ablation-partition", Title: "search-space driven instruction gap",
-		Header: []string{"encoder", "shapes", "insts_m", "kbps", "psnr_db"}}
-	for _, row := range []struct {
+func planAblationPartition(s Scale) (*Plan, error) {
+	rows := []struct {
 		fam    encoders.Family
 		shapes string
 	}{
 		{encoders.SVTAV1, "10"},
 		{encoders.VP9, "4"},
-	} {
-		res, err := runCounted(row.fam, clip, 35, 4)
+	}
+	var cells []Cell
+	for _, row := range rows {
+		cells = append(cells, s.CountedCell(row.fam, "game1", 35, 4))
+	}
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		t := &Table{ID: "ablation-partition", Title: "search-space driven instruction gap",
+			Header: []string{"encoder", "shapes", "insts_m", "kbps", "psnr_db"}}
+		for i, row := range rows {
+			r := res[i].Enc
+			t.AddRow(string(row.fam), row.shapes, f2(float64(r.Insts)/1e6), f1(r.BitrateKbps), f2(r.PSNR))
+		}
+		return []*Table{t}, nil
+	}
+	return &Plan{Cells: cells, Assemble: assemble}, nil
+}
+
+func planAblationPredictor(s Scale) (*Plan, error) {
+	cells := []Cell{s.WindowCell(encoders.SVTAV1, "game1", 35, 4)}
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		tr, err := cbp.FromRecorder("game1", res[0].Rec)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(string(row.fam), row.shapes, f2(float64(res.Insts)/1e6), f1(res.BitrateKbps), f2(res.PSNR))
-	}
-	return []*Table{t}, nil
-}
-
-func runAblationPredictor(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	clip, err := s.Clip("game1")
-	if err != nil {
-		return nil, err
-	}
-	enc, err := encoders.New(encoders.SVTAV1)
-	if err != nil {
-		return nil, err
-	}
-	rec, _, err := perf.RecordWindow(enc, clip, encoders.Options{CRF: 35, Preset: 4}, 0.5, s.WindowOps)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := cbp.FromRecorder("game1", rec)
-	if err != nil {
-		return nil, err
-	}
-	// Equal ~8KB budget across four families, plus a bimodal floor; the
-	// loop-augmented TAGE (the TAGE-SC-L component of the paper's [33])
-	// targets the fixed-trip-count kernel loops encoders are full of.
-	names := []string{"bimodal-8KB", "gshare-2KB", "tage-8KB", "perceptron-8KB", "tage-l-8KB"}
-	scores, err := cbp.Championship(names, []cbp.Trace{tr})
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{ID: "ablation-predictor", Title: "predictor families on one encoder trace",
-		Header: []string{"predictor", "missrate_pct", "mpki"}}
-	for _, sc := range scores {
-		t.AddRow(sc.Predictor, f2(sc.MissRate*100), f3(sc.MPKI))
-	}
-	return []*Table{t}, nil
-}
-
-// runAblationCache replays one recorded window against alternative
-// cache geometries (paper machine vs smaller LLC vs bigger L2).
-func runAblationCache(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	clip, err := s.Clip("game1")
-	if err != nil {
-		return nil, err
-	}
-	enc, err := encoders.New(encoders.SVTAV1)
-	if err != nil {
-		return nil, err
-	}
-	rec, total, err := perf.RecordWindow(enc, clip, encoders.Options{CRF: 35, Preset: 4}, 0.5, s.WindowOps)
-	if err != nil {
-		return nil, err
-	}
-	_ = total
-	l1, l2, llc := cache.XeonE52650v4()
-	geos := []struct {
-		name           string
-		l1c, l2c, llcc cache.Config
-	}{
-		{"xeon(32K/256K/30M)", l1, l2, llc},
-		{"small-llc(32K/256K/8M)", l1, l2, cache.Config{Name: "LLC", SizeBytes: 8 << 20, Assoc: 16, LatencyCyc: 30}},
-		{"big-l2(32K/1M/30M)", l1, cache.Config{Name: "L2", SizeBytes: 1 << 20, Assoc: 16, LatencyCyc: 14}, llc},
-	}
-	t := &Table{ID: "ablation-cache", Title: "MPKI under alternative cache geometries",
-		Header: []string{"geometry", "l1d_mpki", "l2_mpki", "llc_mpki"}}
-	for _, g := range geos {
-		h, err := cache.NewHierarchy(g.l1c, g.l2c, g.llcc)
+		// Equal ~8KB budget across four families, plus a bimodal floor; the
+		// loop-augmented TAGE (the TAGE-SC-L component of the paper's [33])
+		// targets the fixed-trip-count kernel loops encoders are full of.
+		names := []string{"bimodal-8KB", "gshare-2KB", "tage-8KB", "perceptron-8KB", "tage-l-8KB"}
+		scores, err := cbp.Championship(names, []cbp.Trace{tr})
 		if err != nil {
 			return nil, err
 		}
-		var n uint64
-		for _, op := range rec.Ops {
-			if op.IsMem() {
-				h.SpanAccess(op.Addr, int(op.Size), op.Class == trace.OpStore)
+		t := &Table{ID: "ablation-predictor", Title: "predictor families on one encoder trace",
+			Header: []string{"predictor", "missrate_pct", "mpki"}}
+		for _, sc := range scores {
+			t.AddRow(sc.Predictor, f2(sc.MissRate*100), f3(sc.MPKI))
+		}
+		return []*Table{t}, nil
+	}
+	return &Plan{Cells: cells, Assemble: assemble}, nil
+}
+
+// planAblationCache replays one recorded window against alternative
+// cache geometries (paper machine vs smaller LLC vs bigger L2). Its
+// window cell is the same one ablation-predictor records.
+func planAblationCache(s Scale) (*Plan, error) {
+	cells := []Cell{s.WindowCell(encoders.SVTAV1, "game1", 35, 4)}
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		rec := res[0].Rec
+		l1, l2, llc := cache.XeonE52650v4()
+		geos := []struct {
+			name           string
+			l1c, l2c, llcc cache.Config
+		}{
+			{"xeon(32K/256K/30M)", l1, l2, llc},
+			{"small-llc(32K/256K/8M)", l1, l2, cache.Config{Name: "LLC", SizeBytes: 8 << 20, Assoc: 16, LatencyCyc: 30}},
+			{"big-l2(32K/1M/30M)", l1, cache.Config{Name: "L2", SizeBytes: 1 << 20, Assoc: 16, LatencyCyc: 14}, llc},
+		}
+		t := &Table{ID: "ablation-cache", Title: "MPKI under alternative cache geometries",
+			Header: []string{"geometry", "l1d_mpki", "l2_mpki", "llc_mpki"}}
+		for _, g := range geos {
+			h, err := cache.NewHierarchy(g.l1c, g.l2c, g.llcc)
+			if err != nil {
+				return nil, err
 			}
-			n++
+			var n uint64
+			for _, op := range rec.Ops {
+				if op.IsMem() {
+					h.SpanAccess(op.Addr, int(op.Size), op.Class == trace.OpStore)
+				}
+				n++
+			}
+			a, b, c := h.MPKI(n)
+			t.AddRow(g.name, f2(a), f2(b), f3(c))
 		}
-		a, b, c := h.MPKI(n)
-		t.AddRow(g.name, f2(a), f2(b), f3(c))
+		return []*Table{t}, nil
 	}
-	return []*Table{t}, nil
+	return &Plan{Cells: cells, Assemble: assemble}, nil
 }
 
-// runAblationPrefetch replays one window's memory stream through the
+// planAblationPrefetch replays one window's memory stream through the
 // hierarchy with no prefetcher, a next-line prefetcher and a stride
 // prefetcher: the encoder's row scans are stride-friendly, so both
 // schemes recover streaming misses.
-func runAblationPrefetch(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	clip, err := s.Clip("game1")
-	if err != nil {
-		return nil, err
-	}
-	enc, err := encoders.New(encoders.SVTAV1)
-	if err != nil {
-		return nil, err
-	}
-	rec, _, err := perf.RecordWindow(enc, clip, encoders.Options{CRF: 55, Preset: 6}, 0.5, s.WindowOps)
-	if err != nil {
-		return nil, err
-	}
-	type accessor interface {
-		Access(addr uint64, store bool) int
-		MPKI(insts uint64) (float64, float64, float64)
-	}
-	plain, err := cache.NewXeonHierarchy()
-	if err != nil {
-		return nil, err
-	}
-	nl, err := cache.NewPrefetchHierarchy(cache.NextLinePrefetcher{})
-	if err != nil {
-		return nil, err
-	}
-	st, err := cache.NewPrefetchHierarchy(&cache.StridePrefetcher{})
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{ID: "ablation-prefetch", Title: "L2 prefetching on the encoder's access stream",
-		Header: []string{"prefetcher", "l1d_mpki", "l2_mpki", "llc_mpki"}}
-	for _, row := range []struct {
-		name string
-		h    accessor
-	}{{"none", plain}, {"next-line", nl}, {"stride", st}} {
-		n := uint64(len(rec.Ops))
-		for _, op := range rec.Ops {
-			if op.IsMem() {
-				row.h.Access(op.Addr, op.Class == trace.OpStore)
-			}
+func planAblationPrefetch(s Scale) (*Plan, error) {
+	cells := []Cell{s.WindowCell(encoders.SVTAV1, "game1", 55, 6)}
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		rec := res[0].Rec
+		type accessor interface {
+			Access(addr uint64, store bool) int
+			MPKI(insts uint64) (float64, float64, float64)
 		}
-		a, b, c := row.h.MPKI(n)
-		t.AddRow(row.name, f2(a), f2(b), f3(c))
-	}
-	return []*Table{t}, nil
-}
-
-func runAblationMotion(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	clip, err := s.Clip("game1")
-	if err != nil {
-		return nil, err
-	}
-	// Preset position selects the search algorithm in every family:
-	// exercise the SVT-AV1 model across the presets whose toolsets use
-	// hex (8), diamond (4) and full (0) search.
-	t := &Table{ID: "ablation-motion", Title: "motion search strategy cost/quality (SVT-AV1 presets 8/4/0)",
-		Header: []string{"preset", "search", "insts_m", "psnr_db", "kbps"}}
-	for _, row := range []struct {
-		preset int
-		search string
-	}{{8, "hex"}, {4, "diamond"}, {0, "full"}} {
-		res, err := runCounted(encoders.SVTAV1, clip, 35, row.preset)
+		plain, err := cache.NewXeonHierarchy()
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fmt.Sprintf("%d", row.preset), row.search,
-			f2(float64(res.Insts)/1e6), f2(res.PSNR), f1(res.BitrateKbps))
+		nl, err := cache.NewPrefetchHierarchy(cache.NextLinePrefetcher{})
+		if err != nil {
+			return nil, err
+		}
+		st, err := cache.NewPrefetchHierarchy(&cache.StridePrefetcher{})
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{ID: "ablation-prefetch", Title: "L2 prefetching on the encoder's access stream",
+			Header: []string{"prefetcher", "l1d_mpki", "l2_mpki", "llc_mpki"}}
+		for _, row := range []struct {
+			name string
+			h    accessor
+		}{{"none", plain}, {"next-line", nl}, {"stride", st}} {
+			n := uint64(len(rec.Ops))
+			for _, op := range rec.Ops {
+				if op.IsMem() {
+					row.h.Access(op.Addr, op.Class == trace.OpStore)
+				}
+			}
+			a, b, c := row.h.MPKI(n)
+			t.AddRow(row.name, f2(a), f2(b), f3(c))
+		}
+		return []*Table{t}, nil
 	}
-	return []*Table{t}, nil
+	return &Plan{Cells: cells, Assemble: assemble}, nil
+}
+
+func planAblationMotion(s Scale) (*Plan, error) {
+	// Preset position selects the search algorithm in every family:
+	// exercise the SVT-AV1 model across the presets whose toolsets use
+	// hex (8), diamond (4) and full (0) search.
+	rows := []struct {
+		preset int
+		search string
+	}{{8, "hex"}, {4, "diamond"}, {0, "full"}}
+	var cells []Cell
+	for _, row := range rows {
+		cells = append(cells, s.CountedCell(encoders.SVTAV1, "game1", 35, row.preset))
+	}
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		t := &Table{ID: "ablation-motion", Title: "motion search strategy cost/quality (SVT-AV1 presets 8/4/0)",
+			Header: []string{"preset", "search", "insts_m", "psnr_db", "kbps"}}
+		for i, row := range rows {
+			r := res[i].Enc
+			t.AddRow(fmt.Sprintf("%d", row.preset), row.search,
+				f2(float64(r.Insts)/1e6), f2(r.PSNR), f1(r.BitrateKbps))
+		}
+		return []*Table{t}, nil
+	}
+	return &Plan{Cells: cells, Assemble: assemble}, nil
 }

@@ -5,68 +5,61 @@ import (
 
 	"vcprof/internal/cbp"
 	"vcprof/internal/encoders"
-	"vcprof/internal/perf"
 	"vcprof/internal/uarch/bpred"
 )
 
 func init() {
-	register(Experiment{ID: "fig8", Title: "Simulated branch MPKI per video (preset 8, CRF 63)", Run: cbpExperiment("fig8", 8, 63)})
-	register(Experiment{ID: "fig9", Title: "Simulated branch MPKI per video (preset 4, CRF 10)", Run: cbpExperiment("fig9", 4, 10)})
-	register(Experiment{ID: "fig10", Title: "Simulated branch MPKI per video (preset 4, CRF 60)", Run: cbpExperiment("fig10", 4, 60)})
+	register(Experiment{ID: "fig8", Title: "Simulated branch MPKI per video (preset 8, CRF 63)", Plan: cbpPlan("fig8", 8, 63)})
+	register(Experiment{ID: "fig9", Title: "Simulated branch MPKI per video (preset 4, CRF 10)", Plan: cbpPlan("fig9", 4, 10)})
+	register(Experiment{ID: "fig10", Title: "Simulated branch MPKI per video (preset 4, CRF 60)", Plan: cbpPlan("fig10", 4, 60)})
 }
 
-// cbpExperiment records a halfway micro-op window from each clip's
-// SVT-AV1 encode at the given operating point and scores the paper's
-// four predictors on its branches, reproducing Figs. 8–10.
-func cbpExperiment(id string, preset, crf int) func(Scale) ([]*Table, error) {
-	return func(s Scale) ([]*Table, error) {
-		if err := s.Validate(); err != nil {
-			return nil, err
-		}
-		enc, err := encoders.New(encoders.SVTAV1)
-		if err != nil {
-			return nil, err
-		}
-		var traces []cbp.Trace
+// cbpPlan records a halfway micro-op window from each clip's SVT-AV1
+// encode at the given operating point (one window cell per clip) and
+// scores the paper's four predictors on its branches, reproducing
+// Figs. 8–10. At preset 4 the CRF 10/60 window cells coincide with
+// fig6's grid wherever the scale sweeps those CRFs.
+func cbpPlan(id string, preset, crf int) func(Scale) (*Plan, error) {
+	return func(s Scale) (*Plan, error) {
+		var cells []Cell
 		for _, name := range s.clipNames() {
-			clip, err := s.Clip(name)
+			cells = append(cells, s.WindowCell(encoders.SVTAV1, name, crf, preset))
+		}
+		assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+			var traces []cbp.Trace
+			for i, name := range s.clipNames() {
+				tr, err := cbp.FromRecorder(name, res[i].Rec)
+				if err != nil {
+					return nil, fmt.Errorf("%s: trace %s: %w", id, name, err)
+				}
+				traces = append(traces, tr)
+			}
+			scores, err := cbp.Championship(bpred.PaperSet(), traces)
 			if err != nil {
 				return nil, err
 			}
-			rec, _, err := perf.RecordWindow(enc, clip, encoders.Options{CRF: crf, Preset: preset}, 0.5, s.WindowOps)
-			if err != nil {
-				return nil, fmt.Errorf("%s: record %s: %w", id, name, err)
+			preds := bpred.PaperSet()
+			tm := &Table{ID: id, Title: fmt.Sprintf("branch MPKI per predictor (preset %d, CRF %d)", preset, crf),
+				Header: append([]string{"video"}, preds...)}
+			tr := &Table{ID: id + "-missrate", Title: fmt.Sprintf("branch miss rate %% per predictor (preset %d, CRF %d)", preset, crf),
+				Header: append([]string{"video"}, preds...)}
+			byKey := map[[2]string]cbp.Score{}
+			for _, sc := range scores {
+				byKey[[2]string{sc.Trace, sc.Predictor}] = sc
 			}
-			tr, err := cbp.FromRecorder(name, rec)
-			if err != nil {
-				return nil, err
+			for _, name := range s.clipNames() {
+				rowM := []string{name}
+				rowR := []string{name}
+				for _, p := range preds {
+					sc := byKey[[2]string{name, p}]
+					rowM = append(rowM, f3(sc.MPKI))
+					rowR = append(rowR, f2(sc.MissRate*100))
+				}
+				tm.AddRow(rowM...)
+				tr.AddRow(rowR...)
 			}
-			traces = append(traces, tr)
+			return []*Table{tm, tr}, nil
 		}
-		scores, err := cbp.Championship(bpred.PaperSet(), traces)
-		if err != nil {
-			return nil, err
-		}
-		preds := bpred.PaperSet()
-		tm := &Table{ID: id, Title: fmt.Sprintf("branch MPKI per predictor (preset %d, CRF %d)", preset, crf),
-			Header: append([]string{"video"}, preds...)}
-		tr := &Table{ID: id + "-missrate", Title: fmt.Sprintf("branch miss rate %% per predictor (preset %d, CRF %d)", preset, crf),
-			Header: append([]string{"video"}, preds...)}
-		byKey := map[[2]string]cbp.Score{}
-		for _, sc := range scores {
-			byKey[[2]string{sc.Trace, sc.Predictor}] = sc
-		}
-		for _, name := range s.clipNames() {
-			rowM := []string{name}
-			rowR := []string{name}
-			for _, p := range preds {
-				sc := byKey[[2]string{name, p}]
-				rowM = append(rowM, f3(sc.MPKI))
-				rowR = append(rowR, f2(sc.MissRate*100))
-			}
-			tm.AddRow(rowM...)
-			tr.AddRow(rowR...)
-		}
-		return []*Table{tm, tr}, nil
+		return &Plan{Cells: cells, Assemble: assemble}, nil
 	}
 }

@@ -2,139 +2,126 @@ package harness
 
 import (
 	"vcprof/internal/encoders"
-	"vcprof/internal/perf"
-	"vcprof/internal/uarch/pipeline"
 )
 
 func init() {
-	register(Experiment{ID: "fig4", Title: "CRF sweep: instruction count, execution time, IPC", Run: runFig4})
-	register(Experiment{ID: "fig5", Title: "Top-down analysis per video across the CRF sweep", Run: runFig5})
-	register(Experiment{ID: "fig6", Title: "Microarchitectural analysis vs CRF (MPKIs and resource stalls)", Run: runFig6})
-	register(Experiment{ID: "fig7", Title: "Branch miss rate vs CRF", Run: runFig7})
+	register(Experiment{ID: "fig4", Title: "CRF sweep: instruction count, execution time, IPC", Plan: planFig4})
+	register(Experiment{ID: "fig5", Title: "Top-down analysis per video across the CRF sweep", Plan: planFig5})
+	register(Experiment{ID: "fig6", Title: "Microarchitectural analysis vs CRF (MPKIs and resource stalls)", Plan: planFig6})
+	register(Experiment{ID: "fig7", Title: "Branch miss rate vs CRF", Plan: planFig7})
 }
 
-// statFor runs the perf façade for SVT-AV1 at (clip, crf, preset).
-func statFor(s Scale, name string, crf, preset int) (*perf.Counters, error) {
-	clip, err := s.Clip(name)
-	if err != nil {
-		return nil, err
-	}
-	enc, err := encoders.New(encoders.SVTAV1)
-	if err != nil {
-		return nil, err
-	}
-	return perf.Stat(enc, clip, encoders.Options{CRF: crf, Preset: preset})
+// clipCRF keys the (clip, CRF) sweep grid shared by fig3–fig7.
+type clipCRF struct {
+	clip string
+	crf  int
 }
 
-func runFig4(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	tI := &Table{ID: "fig4a", Title: "instruction count (millions) vs CRF", Header: []string{"video"}}
-	tT := &Table{ID: "fig4b", Title: "execution cycles (millions) vs CRF", Header: []string{"video"}}
-	tP := &Table{ID: "fig4c", Title: "IPC vs CRF", Header: []string{"video"}}
-	for _, crf := range s.CRFs {
-		c := "crf" + d(uint64(crf))
-		tI.Header = append(tI.Header, c)
-		tT.Header = append(tT.Header, c)
-		tP.Header = append(tP.Header, c)
-	}
-	for _, name := range s.clipNames() {
-		rI, rT, rP := []string{name}, []string{name}, []string{name}
-		for _, crf := range s.CRFs {
-			st, err := statFor(s, name, crf, 4)
-			if err != nil {
-				return nil, err
-			}
-			rI = append(rI, f2(float64(st.Instructions)/1e6))
-			rT = append(rT, f2(float64(st.Cycles)/1e6))
-			rP = append(rP, f2(st.IPC))
-		}
-		tI.AddRow(rI...)
-		tT.AddRow(rT...)
-		tP.AddRow(rP...)
-	}
-	return []*Table{tI, tT, tP}, nil
-}
-
-func runFig5(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	t := &Table{ID: "fig5", Title: "top-down slot breakdown vs CRF (SVT-AV1 preset 4)",
-		Header: []string{"video", "crf", "retiring", "badspec", "frontend", "backend"}}
+// statGrid declares the SVT-AV1 preset-4 perf grid all four CRF-sweep
+// figures read from. Because the cells are equal across experiments,
+// the memo cache computes each (clip, CRF) stat exactly once per
+// process no matter how many figures consume it.
+func statGrid(s Scale) ([]Cell, map[clipCRF]int) {
+	var cells []Cell
+	idx := map[clipCRF]int{}
 	for _, name := range s.clipNames() {
 		for _, crf := range s.CRFs {
-			st, err := statFor(s, name, crf, 4)
-			if err != nil {
-				return nil, err
-			}
-			td := st.TopDown
-			t.AddRow(name, d(uint64(crf)), f3(td.Retiring), f3(td.BadSpec), f3(td.Frontend), f3(td.Backend))
+			idx[clipCRF{name, crf}] = len(cells)
+			cells = append(cells, s.StatCell(encoders.SVTAV1, name, crf, 4))
 		}
 	}
-	return []*Table{t}, nil
+	return cells, idx
 }
 
-func runFig6(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	tMPKI := &Table{ID: "fig6a-d", Title: "branch / L1D / L2 / LLC MPKI vs CRF",
-		Header: []string{"video", "crf", "branch_mpki", "l1d_mpki", "l2_mpki", "llc_mpki"}}
-	tStall := &Table{ID: "fig6e-h", Title: "resource stall cycles per kilo-instruction vs CRF (pipeline replay)",
-		Header: []string{"video", "crf", "fu_spki", "rs_spki", "lq_spki", "rob_spki"}}
-	sim, err := pipeline.New(pipeline.Broadwell())
-	if err != nil {
-		return nil, err
-	}
-	enc, err := encoders.New(encoders.SVTAV1)
-	if err != nil {
-		return nil, err
-	}
-	for _, name := range s.clipNames() {
-		clip, err := s.Clip(name)
-		if err != nil {
-			return nil, err
-		}
+func planFig4(s Scale) (*Plan, error) {
+	cells, idx := statGrid(s)
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		tI := &Table{ID: "fig4a", Title: "instruction count (millions) vs CRF", Header: []string{"video"}}
+		tT := &Table{ID: "fig4b", Title: "execution cycles (millions) vs CRF", Header: []string{"video"}}
+		tP := &Table{ID: "fig4c", Title: "IPC vs CRF", Header: []string{"video"}}
 		for _, crf := range s.CRFs {
-			st, err := statFor(s, name, crf, 4)
-			if err != nil {
-				return nil, err
-			}
-			tMPKI.AddRow(name, d(uint64(crf)), f3(st.BranchMPKI), f2(st.L1DMPKI), f2(st.L2MPKI), f3(st.LLCMPKI))
-
-			rec, _, err := perf.RecordWindow(enc, clip, encoders.Options{CRF: crf, Preset: 4}, 0.5, s.WindowOps)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(rec.Ops)
-			if err != nil {
-				return nil, err
-			}
-			k := float64(res.Ops) / 1000
-			tStall.AddRow(name, d(uint64(crf)),
-				f2(float64(res.StallFU)/k), f2(float64(res.StallRS)/k),
-				f2(float64(res.StallLQ)/k), f2(float64(res.StallROB)/k))
+			c := "crf" + d(uint64(crf))
+			tI.Header = append(tI.Header, c)
+			tT.Header = append(tT.Header, c)
+			tP.Header = append(tP.Header, c)
 		}
+		for _, name := range s.clipNames() {
+			rI, rT, rP := []string{name}, []string{name}, []string{name}
+			for _, crf := range s.CRFs {
+				st := res[idx[clipCRF{name, crf}]].Stat
+				rI = append(rI, f2(float64(st.Instructions)/1e6))
+				rT = append(rT, f2(float64(st.Cycles)/1e6))
+				rP = append(rP, f2(st.IPC))
+			}
+			tI.AddRow(rI...)
+			tT.AddRow(rT...)
+			tP.AddRow(rP...)
+		}
+		return []*Table{tI, tT, tP}, nil
 	}
-	return []*Table{tMPKI, tStall}, nil
+	return &Plan{Cells: cells, Assemble: assemble}, nil
 }
 
-func runFig7(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
+func planFig5(s Scale) (*Plan, error) {
+	cells, idx := statGrid(s)
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		t := &Table{ID: "fig5", Title: "top-down slot breakdown vs CRF (SVT-AV1 preset 4)",
+			Header: []string{"video", "crf", "retiring", "badspec", "frontend", "backend"}}
+		for _, name := range s.clipNames() {
+			for _, crf := range s.CRFs {
+				td := res[idx[clipCRF{name, crf}]].Stat.TopDown
+				t.AddRow(name, d(uint64(crf)), f3(td.Retiring), f3(td.BadSpec), f3(td.Frontend), f3(td.Backend))
+			}
+		}
+		return []*Table{t}, nil
 	}
-	t := &Table{ID: "fig7", Title: "branch miss rate (%) vs CRF (SVT-AV1 preset 4)",
-		Header: []string{"video", "crf", "missrate_pct"}}
+	return &Plan{Cells: cells, Assemble: assemble}, nil
+}
+
+func planFig6(s Scale) (*Plan, error) {
+	cells, idx := statGrid(s)
+	pipeIdx := map[clipCRF]int{}
 	for _, name := range s.clipNames() {
 		for _, crf := range s.CRFs {
-			st, err := statFor(s, name, crf, 4)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(name, d(uint64(crf)), f2(st.BranchMissPct))
+			pipeIdx[clipCRF{name, crf}] = len(cells)
+			cells = append(cells, s.PipelineCell(encoders.SVTAV1, name, crf, 4))
 		}
 	}
-	return []*Table{t}, nil
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		tMPKI := &Table{ID: "fig6a-d", Title: "branch / L1D / L2 / LLC MPKI vs CRF",
+			Header: []string{"video", "crf", "branch_mpki", "l1d_mpki", "l2_mpki", "llc_mpki"}}
+		tStall := &Table{ID: "fig6e-h", Title: "resource stall cycles per kilo-instruction vs CRF (pipeline replay)",
+			Header: []string{"video", "crf", "fu_spki", "rs_spki", "lq_spki", "rob_spki"}}
+		for _, name := range s.clipNames() {
+			for _, crf := range s.CRFs {
+				key := clipCRF{name, crf}
+				st := res[idx[key]].Stat
+				tMPKI.AddRow(name, d(uint64(crf)), f3(st.BranchMPKI), f2(st.L1DMPKI), f2(st.L2MPKI), f3(st.LLCMPKI))
+
+				pr := res[pipeIdx[key]].Pipe
+				k := float64(pr.Ops) / 1000
+				tStall.AddRow(name, d(uint64(crf)),
+					f2(float64(pr.StallFU)/k), f2(float64(pr.StallRS)/k),
+					f2(float64(pr.StallLQ)/k), f2(float64(pr.StallROB)/k))
+			}
+		}
+		return []*Table{tMPKI, tStall}, nil
+	}
+	return &Plan{Cells: cells, Assemble: assemble}, nil
+}
+
+func planFig7(s Scale) (*Plan, error) {
+	cells, idx := statGrid(s)
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		t := &Table{ID: "fig7", Title: "branch miss rate (%) vs CRF (SVT-AV1 preset 4)",
+			Header: []string{"video", "crf", "missrate_pct"}}
+		for _, name := range s.clipNames() {
+			for _, crf := range s.CRFs {
+				st := res[idx[clipCRF{name, crf}]].Stat
+				t.AddRow(name, d(uint64(crf)), f2(st.BranchMissPct))
+			}
+		}
+		return []*Table{t}, nil
+	}
+	return &Plan{Cells: cells, Assemble: assemble}, nil
 }

@@ -6,15 +6,12 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "table2", Title: "Instruction mix per video, SVT-AV1 preset 8 CRF 63", Run: runTable2})
-	register(Experiment{ID: "fig3", Title: "Op-mix per video across the CRF sweep (SVT-AV1)", Run: runFig3})
+	register(Experiment{ID: "table2", Title: "Instruction mix per video, SVT-AV1 preset 8 CRF 63", Plan: planTable2})
+	register(Experiment{ID: "fig3", Title: "Op-mix per video across the CRF sweep (SVT-AV1)", Plan: planFig3})
 }
 
 // CountingCtx is the worker-context factory for counting-only runs.
 func CountingCtx(int) *trace.Ctx { return trace.New() }
-
-// newCountingCtx is the internal alias used by the experiment runners.
-func newCountingCtx(w int) *trace.Ctx { return CountingCtx(w) }
 
 func mixRow(prefix []string, insts uint64, m *trace.Mix) []string {
 	return append(prefix,
@@ -30,44 +27,44 @@ func mixRow(prefix []string, insts uint64, m *trace.Mix) []string {
 
 var mixHeader = []string{"insts", "branch%", "load%", "store%", "avx%", "sse%", "other%"}
 
-func runTable2(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	t := &Table{ID: "table2", Title: "instruction mix, SVT-AV1 preset 8, CRF 63",
-		Header: append([]string{"video"}, mixHeader...)}
+func planTable2(s Scale) (*Plan, error) {
+	var cells []Cell
 	for _, name := range s.clipNames() {
-		clip, err := s.Clip(name)
-		if err != nil {
-			return nil, err
-		}
-		res, err := runCounted(encoders.SVTAV1, clip, 63, 8)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(mixRow([]string{name}, res.Insts, &res.Mix)...)
+		cells = append(cells, s.CountedCell(encoders.SVTAV1, name, 63, 8))
 	}
-	return []*Table{t}, nil
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		t := &Table{ID: "table2", Title: "instruction mix, SVT-AV1 preset 8, CRF 63",
+			Header: append([]string{"video"}, mixHeader...)}
+		for i, name := range s.clipNames() {
+			r := res[i].Enc
+			mix := r.Mix
+			t.AddRow(mixRow([]string{name}, r.Insts, &mix)...)
+		}
+		return []*Table{t}, nil
+	}
+	return &Plan{Cells: cells, Assemble: assemble}, nil
 }
 
-func runFig3(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	t := &Table{ID: "fig3", Title: "op-mix vs CRF (SVT-AV1 preset 4)",
-		Header: append([]string{"video", "crf"}, mixHeader...)}
+func planFig3(s Scale) (*Plan, error) {
+	var cells []Cell
+	idx := map[clipCRF]int{}
 	for _, name := range s.clipNames() {
-		clip, err := s.Clip(name)
-		if err != nil {
-			return nil, err
-		}
 		for _, crf := range s.CRFs {
-			res, err := runCounted(encoders.SVTAV1, clip, crf, 4)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(mixRow([]string{name, d(uint64(crf))}, res.Insts, &res.Mix)...)
+			idx[clipCRF{name, crf}] = len(cells)
+			cells = append(cells, s.CountedCell(encoders.SVTAV1, name, crf, 4))
 		}
 	}
-	return []*Table{t}, nil
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		t := &Table{ID: "fig3", Title: "op-mix vs CRF (SVT-AV1 preset 4)",
+			Header: append([]string{"video", "crf"}, mixHeader...)}
+		for _, name := range s.clipNames() {
+			for _, crf := range s.CRFs {
+				r := res[idx[clipCRF{name, crf}]].Enc
+				mix := r.Mix
+				t.AddRow(mixRow([]string{name, d(uint64(crf))}, r.Insts, &mix)...)
+			}
+		}
+		return []*Table{t}, nil
+	}
+	return &Plan{Cells: cells, Assemble: assemble}, nil
 }

@@ -2,66 +2,55 @@ package harness
 
 import (
 	"vcprof/internal/encoders"
-	"vcprof/internal/perf"
-	"vcprof/internal/uarch/pipeline"
 )
 
 func init() {
-	register(Experiment{ID: "fig11", Title: "Preset sweep for game1: runtime, bitrate/PSNR, top-down, MPKIs, stalls", Run: runFig11})
+	register(Experiment{ID: "fig11", Title: "Preset sweep for game1: runtime, bitrate/PSNR, top-down, MPKIs, stalls", Plan: planFig11})
 }
 
-// runFig11 sweeps SVT-AV1's speed preset 0..8 at fixed CRF on game1 and
-// reports the five panels of Fig. 11: (a) runtime, (b) bitrate and PSNR,
-// (c) top-down, (d) branch/cache MPKI, (e) resource stalls.
-func runFig11(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	clip, err := s.Clip("game1")
-	if err != nil {
-		return nil, err
-	}
-	enc, err := encoders.New(encoders.SVTAV1)
-	if err != nil {
-		return nil, err
-	}
-	const crf = 30
-	tA := &Table{ID: "fig11a", Title: "runtime vs preset (CRF 30, game1)",
-		Header: []string{"preset", "time_ms", "insts_m"}}
-	tB := &Table{ID: "fig11b", Title: "bitrate and PSNR vs preset",
-		Header: []string{"preset", "kbps", "psnr_db"}}
-	tC := &Table{ID: "fig11c", Title: "top-down vs preset",
-		Header: []string{"preset", "retiring", "badspec", "frontend", "backend"}}
-	tD := &Table{ID: "fig11d", Title: "MPKIs vs preset",
-		Header: []string{"preset", "branch_mpki", "l1d_mpki", "l2_mpki", "llc_mpki"}}
-	tE := &Table{ID: "fig11e", Title: "resource stalls per kilo-instruction vs preset",
-		Header: []string{"preset", "fu_spki", "rs_spki", "lq_spki", "rob_spki"}}
-	sim, err := pipeline.New(pipeline.Broadwell())
-	if err != nil {
-		return nil, err
+// fig11CRF is the fixed quality point of the preset sweep.
+const fig11CRF = 30
+
+// planFig11 sweeps SVT-AV1's speed preset 0..8 at fixed CRF on game1
+// and reports the five panels of Fig. 11: (a) runtime, (b) bitrate and
+// PSNR, (c) top-down, (d) branch/cache MPKI, (e) resource stalls.
+func planFig11(s Scale) (*Plan, error) {
+	var cells []Cell
+	statIdx := make([]int, 9)
+	pipeIdx := make([]int, 9)
+	for preset := 0; preset <= 8; preset++ {
+		statIdx[preset] = len(cells)
+		cells = append(cells, s.StatCell(encoders.SVTAV1, "game1", fig11CRF, preset))
 	}
 	for preset := 0; preset <= 8; preset++ {
-		st, err := perf.Stat(enc, clip, encoders.Options{CRF: crf, Preset: preset})
-		if err != nil {
-			return nil, err
-		}
-		p := d(uint64(preset))
-		tA.AddRow(p, f2(st.WallSeconds*1000), f2(float64(st.Instructions)/1e6))
-		tB.AddRow(p, f1(st.BitrateKbps), f2(st.PSNR))
-		tC.AddRow(p, f3(st.TopDown.Retiring), f3(st.TopDown.BadSpec), f3(st.TopDown.Frontend), f3(st.TopDown.Backend))
-		tD.AddRow(p, f3(st.BranchMPKI), f2(st.L1DMPKI), f2(st.L2MPKI), f3(st.LLCMPKI))
-
-		rec, _, err := perf.RecordWindow(enc, clip, encoders.Options{CRF: crf, Preset: preset}, 0.5, s.WindowOps)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run(rec.Ops)
-		if err != nil {
-			return nil, err
-		}
-		k := float64(res.Ops) / 1000
-		tE.AddRow(p, f2(float64(res.StallFU)/k), f2(float64(res.StallRS)/k),
-			f2(float64(res.StallLQ)/k), f2(float64(res.StallROB)/k))
+		pipeIdx[preset] = len(cells)
+		cells = append(cells, s.PipelineCell(encoders.SVTAV1, "game1", fig11CRF, preset))
 	}
-	return []*Table{tA, tB, tC, tD, tE}, nil
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		tA := &Table{ID: "fig11a", Title: "runtime vs preset (CRF 30, game1)",
+			Header: []string{"preset", "time_ms", "insts_m"}}
+		tB := &Table{ID: "fig11b", Title: "bitrate and PSNR vs preset",
+			Header: []string{"preset", "kbps", "psnr_db"}}
+		tC := &Table{ID: "fig11c", Title: "top-down vs preset",
+			Header: []string{"preset", "retiring", "badspec", "frontend", "backend"}}
+		tD := &Table{ID: "fig11d", Title: "MPKIs vs preset",
+			Header: []string{"preset", "branch_mpki", "l1d_mpki", "l2_mpki", "llc_mpki"}}
+		tE := &Table{ID: "fig11e", Title: "resource stalls per kilo-instruction vs preset",
+			Header: []string{"preset", "fu_spki", "rs_spki", "lq_spki", "rob_spki"}}
+		for preset := 0; preset <= 8; preset++ {
+			st := res[statIdx[preset]].Stat
+			p := d(uint64(preset))
+			tA.AddRow(p, f2(st.ModeledMS()), f2(float64(st.Instructions)/1e6))
+			tB.AddRow(p, f1(st.BitrateKbps), f2(st.PSNR))
+			tC.AddRow(p, f3(st.TopDown.Retiring), f3(st.TopDown.BadSpec), f3(st.TopDown.Frontend), f3(st.TopDown.Backend))
+			tD.AddRow(p, f3(st.BranchMPKI), f2(st.L1DMPKI), f2(st.L2MPKI), f3(st.LLCMPKI))
+
+			pr := res[pipeIdx[preset]].Pipe
+			k := float64(pr.Ops) / 1000
+			tE.AddRow(p, f2(float64(pr.StallFU)/k), f2(float64(pr.StallRS)/k),
+				f2(float64(pr.StallLQ)/k), f2(float64(pr.StallROB)/k))
+		}
+		return []*Table{tA, tB, tC, tD, tE}, nil
+	}
+	return &Plan{Cells: cells, Assemble: assemble}, nil
 }

@@ -15,50 +15,29 @@ func d(v uint64) string    { return fmt.Sprintf("%d", v) }
 func sci(v float64) string { return fmt.Sprintf("%.3g", v) }
 
 func init() {
-	register(Experiment{ID: "table1", Title: "vbench input catalog (resolution, fps, entropy)", Run: runTable1})
-	register(Experiment{ID: "fig1", Title: "Execution time vs CRF for the five encoders (game1)", Run: runFig1})
-	register(Experiment{ID: "fig2a", Title: "PSNR BD-Rate vs execution time per encoder", Run: runFig2a})
-	register(Experiment{ID: "fig2b", Title: "PSNR vs execution time, SVT-AV1 CRF sweep (game1)", Run: runFig2b})
+	register(Experiment{ID: "table1", Title: "vbench input catalog (resolution, fps, entropy)", Plan: planTable1})
+	register(Experiment{ID: "fig1", Title: "Execution time vs CRF for the five encoders (game1)", Plan: planFig1})
+	register(Experiment{ID: "fig2a", Title: "PSNR BD-Rate vs execution time per encoder", Plan: planFig2a})
+	register(Experiment{ID: "fig2b", Title: "PSNR vs execution time, SVT-AV1 CRF sweep (game1)", Plan: planFig2b})
 }
 
-func runTable1(s Scale) ([]*Table, error) {
-	t := &Table{ID: "table1", Title: "vbench catalog", Header: []string{"video", "resolution", "fps", "entropy"}}
-	for _, m := range video.Vbench() {
-		t.AddRow(m.Name, fmt.Sprintf("%dx%d", m.Width, m.Height), fmt.Sprintf("%d", m.FPS), f2(m.Entropy))
-	}
-	return []*Table{t}, nil
-}
-
-// runFig1 encodes game1 at each CRF with every encoder and reports
-// wall time and instruction count; the paper's Fig. 1 shape is
-// SVT-AV1 ≫ libaom > x265 ≈ x264 ≈ vp9, falling with CRF.
-func runFig1(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	clip, err := s.Clip("game1")
-	if err != nil {
-		return nil, err
-	}
-	tTime := &Table{ID: "fig1", Title: "encode wall time (ms), game1",
-		Header: append([]string{"crf"}, famNames()...)}
-	tInst := &Table{ID: "fig1-insts", Title: "instructions (millions), game1",
-		Header: append([]string{"crf"}, famNames()...)}
-	for _, crf := range s.CRFs {
-		rowT := []string{d(uint64(crf))}
-		rowI := []string{d(uint64(crf))}
-		for _, fam := range encoders.Families() {
-			res, err := runCounted(fam, clip, mapCRF(fam, crf), midPreset(fam))
-			if err != nil {
-				return nil, err
-			}
-			rowT = append(rowT, f2(res.Wall.Seconds()*1000))
-			rowI = append(rowI, f2(float64(res.Insts)/1e6))
+func planTable1(Scale) (*Plan, error) {
+	assemble := func(Scale, []CellResult) ([]*Table, error) {
+		t := &Table{ID: "table1", Title: "vbench catalog", Header: []string{"video", "resolution", "fps", "entropy"}}
+		for _, m := range video.Vbench() {
+			t.AddRow(m.Name, fmt.Sprintf("%dx%d", m.Width, m.Height), fmt.Sprintf("%d", m.FPS), f2(m.Entropy))
 		}
-		tTime.AddRow(rowT...)
-		tInst.AddRow(rowI...)
+		return []*Table{t}, nil
 	}
-	return []*Table{tTime, tInst}, nil
+	return &Plan{Assemble: assemble}, nil
+}
+
+// famCRF keys the (encoder, CRF) grids of fig1 and fig2a. Both declare
+// the same counted cells at mapped CRF and mid preset, so the grids
+// overlap in the memo cache wherever the CRF sets coincide.
+type famCRF struct {
+	fam encoders.Family
+	crf int
 }
 
 func famNames() []string {
@@ -69,84 +48,106 @@ func famNames() []string {
 	return out
 }
 
-// runCounted runs a single-threaded instrumented encode.
-func runCounted(fam encoders.Family, clip *video.Clip, crf, preset int) (*encoders.Result, error) {
-	enc, err := encoders.New(fam)
-	if err != nil {
-		return nil, err
-	}
-	return enc.Encode(clip, encoders.Options{
-		CRF: crf, Preset: preset, Threads: 1,
-		NewWorkerCtx: newCountingCtx,
-	})
-}
-
-// runFig2a builds an RD curve per encoder over the CRF grid, computes
-// BD-Rate against the x264 anchor, and pairs it with total runtime.
-func runFig2a(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	clip, err := s.Clip("game1")
-	if err != nil {
-		return nil, err
-	}
-	crfs := s.CRFs
-	if len(crfs) < 4 {
-		crfs = []int{10, 25, 40, 55}
-	}
-	curves := map[encoders.Family]metrics.RDCurve{}
-	seconds := map[encoders.Family]float64{}
-	for _, fam := range encoders.Families() {
-		enc, err := encoders.New(fam)
-		if err != nil {
-			return nil, err
-		}
-		for _, crf := range crfs {
-			res, err := enc.Encode(clip, encoders.Options{CRF: mapCRF(fam, crf), Preset: midPreset(fam)})
-			if err != nil {
-				return nil, err
-			}
-			curves[fam] = append(curves[fam], metrics.RDPoint{BitrateKbps: res.BitrateKbps, PSNR: res.PSNR})
-			seconds[fam] += res.Wall.Seconds()
-		}
-	}
-	t := &Table{ID: "fig2a", Title: "PSNR BD-Rate (% vs x264) and total encode time",
-		Header: []string{"encoder", "bdrate_pct", "time_ms"}}
-	for _, fam := range encoders.Families() {
-		bd := 0.0
-		if fam != encoders.X264 {
-			var err error
-			bd, err = metrics.BDRate(curves[encoders.X264], curves[fam])
-			if err != nil {
-				return nil, fmt.Errorf("fig2a: BD-Rate for %s: %w", fam, err)
-			}
-		}
-		t.AddRow(string(fam), f2(bd), f2(seconds[fam]*1000))
-	}
-	return []*Table{t}, nil
-}
-
-func runFig2b(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	clip, err := s.Clip("game1")
-	if err != nil {
-		return nil, err
-	}
-	enc, err := encoders.New(encoders.SVTAV1)
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{ID: "fig2b", Title: "PSNR vs encode time, SVT-AV1 preset 4 (game1)",
-		Header: []string{"crf", "psnr_db", "time_ms", "kbps"}}
+// planFig1 encodes game1 at each CRF with every encoder and reports
+// modeled wall time and instruction count; the paper's Fig. 1 shape is
+// SVT-AV1 ≫ libaom > x265 ≈ x264 ≈ vp9, falling with CRF.
+func planFig1(s Scale) (*Plan, error) {
+	var cells []Cell
+	idx := map[famCRF]int{}
 	for _, crf := range s.CRFs {
-		res, err := enc.Encode(clip, encoders.Options{CRF: crf, Preset: 4})
-		if err != nil {
-			return nil, err
+		for _, fam := range encoders.Families() {
+			idx[famCRF{fam, crf}] = len(cells)
+			cells = append(cells, s.CountedCell(fam, "game1", mapCRF(fam, crf), midPreset(fam)))
 		}
-		t.AddRow(d(uint64(crf)), f2(res.PSNR), f2(res.Wall.Seconds()*1000), f1(res.BitrateKbps))
 	}
-	return []*Table{t}, nil
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		tTime := &Table{ID: "fig1", Title: "encode wall time (ms, modeled), game1",
+			Header: append([]string{"crf"}, famNames()...)}
+		tInst := &Table{ID: "fig1-insts", Title: "instructions (millions), game1",
+			Header: append([]string{"crf"}, famNames()...)}
+		for _, crf := range s.CRFs {
+			rowT := []string{d(uint64(crf))}
+			rowI := []string{d(uint64(crf))}
+			for _, fam := range encoders.Families() {
+				r := res[idx[famCRF{fam, crf}]].Enc
+				rowT = append(rowT, f2(instMS(r.Insts)))
+				rowI = append(rowI, f2(float64(r.Insts)/1e6))
+			}
+			tTime.AddRow(rowT...)
+			tInst.AddRow(rowI...)
+		}
+		return []*Table{tTime, tInst}, nil
+	}
+	return &Plan{Cells: cells, Assemble: assemble}, nil
+}
+
+// fig2aCRFs is the RD-curve grid: the scale's CRF set, padded to the
+// four points BD-Rate integration needs.
+func fig2aCRFs(s Scale) []int {
+	if len(s.CRFs) >= 4 {
+		return s.CRFs
+	}
+	return []int{10, 25, 40, 55}
+}
+
+// planFig2a builds an RD curve per encoder over the CRF grid, computes
+// BD-Rate against the x264 anchor, and pairs it with total modeled
+// runtime.
+func planFig2a(s Scale) (*Plan, error) {
+	crfs := fig2aCRFs(s)
+	var cells []Cell
+	idx := map[famCRF]int{}
+	for _, fam := range encoders.Families() {
+		for _, crf := range crfs {
+			idx[famCRF{fam, crf}] = len(cells)
+			cells = append(cells, s.CountedCell(fam, "game1", mapCRF(fam, crf), midPreset(fam)))
+		}
+	}
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		crfs := fig2aCRFs(s)
+		curves := map[encoders.Family]metrics.RDCurve{}
+		ms := map[encoders.Family]float64{}
+		for _, fam := range encoders.Families() {
+			for _, crf := range crfs {
+				r := res[idx[famCRF{fam, crf}]].Enc
+				curves[fam] = append(curves[fam], metrics.RDPoint{BitrateKbps: r.BitrateKbps, PSNR: r.PSNR})
+				ms[fam] += instMS(r.Insts)
+			}
+		}
+		t := &Table{ID: "fig2a", Title: "PSNR BD-Rate (% vs x264) and total encode time",
+			Header: []string{"encoder", "bdrate_pct", "time_ms"}}
+		for _, fam := range encoders.Families() {
+			bd := 0.0
+			if fam != encoders.X264 {
+				var err error
+				bd, err = metrics.BDRate(curves[encoders.X264], curves[fam])
+				if err != nil {
+					return nil, fmt.Errorf("fig2a: BD-Rate for %s: %w", fam, err)
+				}
+			}
+			t.AddRow(string(fam), f2(bd), f2(ms[fam]))
+		}
+		return []*Table{t}, nil
+	}
+	return &Plan{Cells: cells, Assemble: assemble}, nil
+}
+
+// planFig2b sweeps SVT-AV1 CRF on game1. Its cells are the same
+// preset-4 stat cells fig4–fig7 measure, so a full suite run computes
+// them once.
+func planFig2b(s Scale) (*Plan, error) {
+	var cells []Cell
+	for _, crf := range s.CRFs {
+		cells = append(cells, s.StatCell(encoders.SVTAV1, "game1", crf, 4))
+	}
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		t := &Table{ID: "fig2b", Title: "PSNR vs encode time, SVT-AV1 preset 4 (game1)",
+			Header: []string{"crf", "psnr_db", "time_ms", "kbps"}}
+		for i, crf := range s.CRFs {
+			st := res[i].Stat
+			t.AddRow(d(uint64(crf)), f2(st.PSNR), f2(st.ModeledMS()), f1(st.BitrateKbps))
+		}
+		return []*Table{t}, nil
+	}
+	return &Plan{Cells: cells, Assemble: assemble}, nil
 }

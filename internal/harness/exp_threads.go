@@ -4,18 +4,18 @@ import (
 	"fmt"
 
 	"vcprof/internal/encoders"
-	"vcprof/internal/perf"
 )
 
 func init() {
 	// The paper shows four thread-scalability panels (Figs. 12–15) that
 	// differ in the x264 preset/CRF operating point; the AV1-family
-	// encoders run the same configuration in all four.
-	register(Experiment{ID: "fig12", Title: "Thread scalability, game1 (x264 preset 0, CRF 51)", Run: threadExperiment("fig12", 0, 51)})
-	register(Experiment{ID: "fig13", Title: "Thread scalability, game1 (x264 preset 2, CRF 51)", Run: threadExperiment("fig13", 2, 51)})
-	register(Experiment{ID: "fig14", Title: "Thread scalability, game1 (x264 preset 5, CRF 50)", Run: threadExperiment("fig14", 5, 50)})
-	register(Experiment{ID: "fig15", Title: "Thread scalability, game1 (x264 preset 5, CRF 30)", Run: threadExperiment("fig15", 5, 30)})
-	register(Experiment{ID: "fig16", Title: "Top-down vs thread count for the four encoders", Run: runFig16})
+	// encoders run the same configuration in all four, so their schedule
+	// cells are shared between panels through the memo cache.
+	register(Experiment{ID: "fig12", Title: "Thread scalability, game1 (x264 preset 0, CRF 51)", Plan: threadPlan("fig12", 0, 51)})
+	register(Experiment{ID: "fig13", Title: "Thread scalability, game1 (x264 preset 2, CRF 51)", Plan: threadPlan("fig13", 2, 51)})
+	register(Experiment{ID: "fig14", Title: "Thread scalability, game1 (x264 preset 5, CRF 50)", Plan: threadPlan("fig14", 5, 50)})
+	register(Experiment{ID: "fig15", Title: "Thread scalability, game1 (x264 preset 5, CRF 30)", Plan: threadPlan("fig15", 5, 30)})
+	register(Experiment{ID: "fig16", Title: "Top-down vs thread count for the four encoders", Plan: planFig16})
 }
 
 // scalingFamilies are the four encoders of the thread study.
@@ -33,118 +33,101 @@ func threadOperatingPoint(fam encoders.Family, x264Preset, x264CRF int) (crf, pr
 	return x264CRF * 63 / 51, 6
 }
 
-// profileFor measures the family's task-graph schedule at the operating
-// point on the thread-study workload.
-func profileFor(s Scale, fam encoders.Family, x264Preset, x264CRF int) (*encoders.Schedule, *encoders.Result, error) {
-	clip, err := s.ThreadClip("game1")
-	if err != nil {
-		return nil, nil, err
-	}
-	enc, err := encoders.New(fam)
-	if err != nil {
-		return nil, nil, err
-	}
-	crf, preset := threadOperatingPoint(fam, x264Preset, x264CRF)
-	return encoders.ProfileSchedule(enc, clip, encoders.Options{CRF: crf, Preset: preset})
-}
-
-// threadExperiment reproduces one thread-scalability panel: each
-// encoder's task graph is profiled once and its makespan simulated for
-// every core count — the substitution for the paper's wall-clock runs
-// on a 12-core Xeon (see DESIGN.md).
-func threadExperiment(id string, x264Preset, x264CRF int) func(Scale) ([]*Table, error) {
-	return func(s Scale) ([]*Table, error) {
-		if err := s.Validate(); err != nil {
-			return nil, err
-		}
-		t := &Table{ID: id, Title: fmt.Sprintf("speedup vs threads (x264 preset %d, CRF %d)", x264Preset, x264CRF),
-			Header: []string{"threads"}}
+// threadPlan reproduces one thread-scalability panel: each encoder's
+// task graph is profiled once (one schedule cell per family) and its
+// makespan simulated for every core count — the substitution for the
+// paper's wall-clock runs on a 12-core Xeon (see DESIGN.md).
+func threadPlan(id string, x264Preset, x264CRF int) func(Scale) (*Plan, error) {
+	return func(s Scale) (*Plan, error) {
+		var cells []Cell
 		for _, fam := range scalingFamilies() {
-			t.Header = append(t.Header, string(fam))
+			crf, preset := threadOperatingPoint(fam, x264Preset, x264CRF)
+			cells = append(cells, s.ScheduleCell(fam, "game1", crf, preset))
 		}
-		rows := map[int][]string{}
-		for _, th := range s.Threads {
-			rows[th] = []string{d(uint64(th))}
-		}
-		for _, fam := range scalingFamilies() {
-			sched, _, err := profileFor(s, fam, x264Preset, x264CRF)
-			if err != nil {
-				return nil, err
+		assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+			t := &Table{ID: id, Title: fmt.Sprintf("speedup vs threads (x264 preset %d, CRF %d)", x264Preset, x264CRF),
+				Header: []string{"threads"}}
+			for _, fam := range scalingFamilies() {
+				t.Header = append(t.Header, string(fam))
+			}
+			rows := map[int][]string{}
+			for _, th := range s.Threads {
+				rows[th] = []string{d(uint64(th))}
+			}
+			for i := range scalingFamilies() {
+				sched := res[i].Sched
+				for _, th := range s.Threads {
+					sp, err := sched.Speedup(th)
+					if err != nil {
+						return nil, err
+					}
+					rows[th] = append(rows[th], f2(sp))
+				}
 			}
 			for _, th := range s.Threads {
+				t.AddRow(rows[th]...)
+			}
+			return []*Table{t}, nil
+		}
+		return &Plan{Cells: cells, Assemble: assemble}, nil
+	}
+}
+
+// planFig16 reports top-down breakdowns as the thread count grows. The
+// single-thread breakdown comes from a perf cell on the thread-study
+// clip; at higher thread counts the same workload profile is adjusted
+// by the simulated parallel efficiency: slots issued on under-utilized
+// or waiting cores surface as backend-bound stalls, which is exactly
+// the imbalance signature the paper reads from x265.
+func planFig16(s Scale) (*Plan, error) {
+	var cells []Cell
+	fams := scalingFamilies()
+	statIdx := make([]int, len(fams))
+	schedIdx := make([]int, len(fams))
+	for i, fam := range fams {
+		crf, preset := threadOperatingPoint(fam, 5, 40)
+		statIdx[i] = len(cells)
+		cells = append(cells, s.ThreadStatCell(fam, "game1", crf, preset))
+		schedIdx[i] = len(cells)
+		cells = append(cells, s.ScheduleCell(fam, "game1", crf, preset))
+	}
+	assemble := func(s Scale, res []CellResult) ([]*Table, error) {
+		t := &Table{ID: "fig16", Title: "top-down vs thread count (game1)",
+			Header: []string{"encoder", "threads", "retiring", "badspec", "frontend", "backend", "imbalance"}}
+		for i, fam := range fams {
+			st := res[statIdx[i]].Stat
+			sched := res[schedIdx[i]].Sched
+			for _, th := range s.Threads {
+				if th != 1 && th != 2 && th != 4 && th != 8 {
+					continue
+				}
 				sp, err := sched.Speedup(th)
 				if err != nil {
 					return nil, err
 				}
-				rows[th] = append(rows[th], f2(sp))
+				imb, err := sched.Imbalance(th)
+				if err != nil {
+					return nil, err
+				}
+				eff := sp / float64(th)
+				if eff > 1 {
+					eff = 1
+				}
+				td := st.TopDown
+				// Under-utilization: busy cores keep the single-thread
+				// profile; the efficiency shortfall surfaces as extra
+				// backend-bound (waiting) slots.
+				shift := (1 - eff) * td.Retiring * 0.5
+				td.Retiring -= shift
+				td.Backend += shift
+				td.MemoryBound += shift / 2
+				td.CoreBound = td.Backend - td.MemoryBound
+				t.AddRow(string(fam), d(uint64(th)),
+					f3(td.Retiring), f3(td.BadSpec), f3(td.Frontend), f3(td.Backend),
+					f2(imb))
 			}
-		}
-		for _, th := range s.Threads {
-			t.AddRow(rows[th]...)
 		}
 		return []*Table{t}, nil
 	}
-}
-
-// runFig16 reports top-down breakdowns as the thread count grows. The
-// single-thread breakdown comes from the perf façade; at higher thread
-// counts the same workload profile is adjusted by the simulated parallel
-// efficiency: slots issued on under-utilized or waiting cores surface as
-// backend-bound stalls, which is exactly the imbalance signature the
-// paper reads from x265.
-func runFig16(s Scale) ([]*Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	clip, err := s.ThreadClip("game1")
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{ID: "fig16", Title: "top-down vs thread count (game1)",
-		Header: []string{"encoder", "threads", "retiring", "badspec", "frontend", "backend", "imbalance"}}
-	for _, fam := range scalingFamilies() {
-		enc, err := encoders.New(fam)
-		if err != nil {
-			return nil, err
-		}
-		crf, preset := threadOperatingPoint(fam, 5, 40)
-		st, err := perf.Stat(enc, clip, encoders.Options{CRF: crf, Preset: preset})
-		if err != nil {
-			return nil, err
-		}
-		sched, _, err := encoders.ProfileSchedule(enc, clip, encoders.Options{CRF: crf, Preset: preset})
-		if err != nil {
-			return nil, err
-		}
-		for _, th := range s.Threads {
-			if th != 1 && th != 2 && th != 4 && th != 8 {
-				continue
-			}
-			sp, err := sched.Speedup(th)
-			if err != nil {
-				return nil, err
-			}
-			imb, err := sched.Imbalance(th)
-			if err != nil {
-				return nil, err
-			}
-			eff := sp / float64(th)
-			if eff > 1 {
-				eff = 1
-			}
-			td := st.TopDown
-			// Under-utilization: busy cores keep the single-thread
-			// profile; the efficiency shortfall surfaces as extra
-			// backend-bound (waiting) slots.
-			shift := (1 - eff) * td.Retiring * 0.5
-			td.Retiring -= shift
-			td.Backend += shift
-			td.MemoryBound += shift / 2
-			td.CoreBound = td.Backend - td.MemoryBound
-			t.AddRow(string(fam), d(uint64(th)),
-				f3(td.Retiring), f3(td.BadSpec), f3(td.Frontend), f3(td.Backend),
-				f2(imb))
-		}
-	}
-	return []*Table{t}, nil
+	return &Plan{Cells: cells, Assemble: assemble}, nil
 }

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"vcprof/internal/encoders"
+	"vcprof/internal/perf"
 	"vcprof/internal/video"
 )
 
@@ -113,11 +114,28 @@ func midPreset(fam encoders.Family) int {
 	return (lo + hi + 1) / 2
 }
 
+// clipEntry is one clip-cache slot; done is closed once clip/err are
+// set, so concurrent requests for the same clip generate it exactly
+// once while distinct clips generate in parallel.
+type clipEntry struct {
+	key  string
+	done chan struct{}
+	clip *video.Clip
+	err  error
+}
+
+// clipCacheCap bounds the clip cache (FIFO eviction). A full
+// DefaultScale run touches 16 distinct (name, frames, div) clips, so
+// the default never evicts mid-suite.
+const clipCacheCap = 32
+
 // clipCache avoids regenerating procedural clips across experiments.
 var clipCache = struct {
 	sync.Mutex
-	m map[string]*video.Clip
-}{m: make(map[string]*video.Clip)}
+	m     map[string]*clipEntry
+	order []string // insertion order for FIFO eviction
+	gens  uint64   // completed generations (test hook)
+}{m: make(map[string]*clipEntry)}
 
 // Clip returns the (cached) procedural clip for a catalog name at the
 // scale's characterization size.
@@ -133,21 +151,89 @@ func (s Scale) ThreadClip(name string) (*video.Clip, error) {
 func cachedClip(name string, frames, div int) (*video.Clip, error) {
 	key := fmt.Sprintf("%s/%d/%d", name, frames, div)
 	clipCache.Lock()
-	defer clipCache.Unlock()
-	if c, ok := clipCache.m[key]; ok {
-		return c, nil
+	if e, ok := clipCache.m[key]; ok {
+		clipCache.Unlock()
+		<-e.done
+		return e.clip, e.err
 	}
+	e := &clipEntry{key: key, done: make(chan struct{})}
+	clipCache.m[key] = e
+	clipCache.order = append(clipCache.order, key)
+	evictClipsLocked()
+	clipCache.Unlock()
+
 	meta, err := video.LookupClip(name)
-	if err != nil {
-		return nil, err
+	if err == nil {
+		e.clip, e.err = video.Generate(meta, video.GenerateOptions{Frames: frames, ScaleDiv: div})
+	} else {
+		e.err = err
 	}
-	c, err := video.Generate(meta, video.GenerateOptions{Frames: frames, ScaleDiv: div})
-	if err != nil {
-		return nil, err
-	}
-	clipCache.m[key] = c
-	return c, nil
+	clipCache.Lock()
+	clipCache.gens++
+	clipCache.Unlock()
+	close(e.done)
+	return e.clip, e.err
 }
+
+// evictClipsLocked drops the oldest completed entries beyond the cap.
+// In-flight entries are skipped; evicted clips regenerate on next use.
+func evictClipsLocked() {
+	for len(clipCache.m) > clipCacheCap {
+		evicted := false
+		for i, key := range clipCache.order {
+			e, ok := clipCache.m[key]
+			if !ok {
+				clipCache.order = append(clipCache.order[:i], clipCache.order[i+1:]...)
+				evicted = true
+				break
+			}
+			select {
+			case <-e.done:
+				delete(clipCache.m, key)
+				clipCache.order = append(clipCache.order[:i], clipCache.order[i+1:]...)
+				evicted = true
+			default:
+				continue // still generating
+			}
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// ResetClipCache empties the clip cache and its generation counter.
+func ResetClipCache() {
+	clipCache.Lock()
+	defer clipCache.Unlock()
+	clipCache.m = make(map[string]*clipEntry)
+	clipCache.order = nil
+	clipCache.gens = 0
+}
+
+// clipGenerations reports how many clips have been generated since the
+// last reset (test hook for the exactly-once contract).
+func clipGenerations() uint64 {
+	clipCache.Lock()
+	defer clipCache.Unlock()
+	return clipCache.gens
+}
+
+// The harness reports deterministic modeled wall time instead of host
+// time: cycle counts (or instruction counts at a nominal IPC of 2) at
+// perf.BaseHz, the paper machine's clock. Host wall time would differ
+// on every run and machine, breaking the golden-table suite and the
+// worker-count equivalence guarantee; modeled time preserves every
+// shape the paper reads from Figs. 1/2/11 because those shapes are
+// instruction-count driven (the paper's central claim).
+
+// cycleMS converts modeled cycles to milliseconds on the paper machine.
+func cycleMS(cycles uint64) float64 { return float64(cycles) / perf.BaseHz * 1e3 }
+
+// instMS converts an instruction count to modeled milliseconds at the
+// nominal IPC, for counting-only cells with no cycle model attached.
+func instMS(insts uint64) float64 { return cycleMS(insts / 2) }
 
 // Table is a rendered experiment result.
 type Table struct {
@@ -192,24 +278,43 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// CSV returns a comma-separated rendering (cells must not contain
-// commas; all harness output is numeric or identifier-like).
+// CSV returns an RFC 4180 comma-separated rendering: cells containing
+// commas, quotes, CR or LF are quoted with embedded quotes doubled, so
+// no cell content can corrupt the row structure.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Header, ","))
-	b.WriteString("\n")
+	writeCSVRow(&b, t.Header)
 	for _, r := range t.Rows {
-		b.WriteString(strings.Join(r, ","))
-		b.WriteString("\n")
+		writeCSVRow(&b, r)
 	}
 	return b.String()
 }
 
-// Experiment is a runnable paper artifact.
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvField(c))
+	}
+	b.WriteByte('\n')
+}
+
+// csvField quotes a cell per RFC 4180 when it contains a delimiter,
+// quote or line break.
+func csvField(f string) string {
+	if !strings.ContainsAny(f, ",\"\r\n") {
+		return f
+	}
+	return `"` + strings.ReplaceAll(f, `"`, `""`) + `"`
+}
+
+// Experiment is a runnable paper artifact. Plan lowers it to a cell
+// grid plus assembly for the engine; Run (engine.go) executes it.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Scale) ([]*Table, error)
+	Plan  func(Scale) (*Plan, error)
 }
 
 var registry = struct {

@@ -6,12 +6,13 @@ import (
 	"testing"
 )
 
-// fast is a minimal scale for unit-level experiment checks.
+// fast is a minimal scale for unit-level experiment checks: the golden
+// scale (QuickScale) restricted to two clips, so every cell these tests
+// measure is shared with the golden-suite run through the memo cache
+// and the shape tests mostly assemble cached results.
 func fast() Scale {
 	s := QuickScale()
 	s.Clips = []string{"desktop", "game1"}
-	s.Frames = 3
-	s.WindowOps = 250_000
 	return s
 }
 

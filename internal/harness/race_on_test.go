@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The golden comparison (pure value determinism, no added
+// concurrency) is skipped under -race to keep the detector pass — which
+// runs the worker-equivalence and cache suites — inside a sane budget.
+const raceEnabled = true

@@ -23,6 +23,14 @@ import (
 // machine's front-end (Broadwell's predictor is TAGE-like).
 const hwPredictor = "tage-8KB"
 
+// BaseHz is the nominal clock of the modeled measurement machine, the
+// paper's Xeon E5-2650 v4 (2.2 GHz base). Modeled wall time — cycles at
+// this clock — is what downstream consumers report in time columns:
+// host wall time differs on every run and machine, while modeled time
+// is deterministic and preserves the instruction-count-driven shapes
+// the paper reads from its time axes.
+const BaseHz = 2.2e9
+
 // Counters is the result of one measured encode, the analogue of a perf
 // stat run plus derived metrics.
 type Counters struct {
@@ -51,6 +59,10 @@ type Counters struct {
 	WallSeconds float64
 	WorkerInsts []uint64
 }
+
+// ModeledMS is the modeled wall time of the measured encode in
+// milliseconds: retired cycles at BaseHz.
+func (c *Counters) ModeledMS() float64 { return float64(c.Cycles) / BaseHz * 1e3 }
 
 // memSink adapts the cache hierarchy to the trace layer.
 type memSink struct {
