@@ -1,14 +1,25 @@
 # CI entry points. `make ci` is the gate: formatting, vet, build, the
-# full test suite, and the race pass over the concurrent packages
-# (harness engine + encoders). The race pass re-runs the golden and
-# equivalence suites under the detector, so it gets a long timeout.
+# vclint determinism/concurrency analyzers, the full test suite, and
+# the race pass over the concurrent packages (harness engine +
+# encoders). The race pass re-runs the golden and equivalence suites
+# under the detector, so it gets a long timeout.
 
 GO ?= go
 RACE_TIMEOUT ?= 60m
 
-.PHONY: ci fmt vet build test race golden bench
+# Every stdlib vet pass, spelled out (from `go tool vet help`) so a
+# toolchain that grows a new pass fails loudly here instead of silently
+# running without it. Update the list when bumping the Go version.
+VET_PASSES = -appends -asmdecl -assign -atomic -bools -buildtag \
+	-cgocall -composites -copylocks -defers -directive -errorsas \
+	-framepointer -httpresponse -ifaceassert -loopclosure -lostcancel \
+	-nilfunc -printf -shift -sigchanyzer -slog -stdmethods -stdversion \
+	-stringintconv -structtag -testinggoroutine -tests -timeformat \
+	-unmarshal -unreachable -unsafeptr -unusedresult
 
-ci: fmt vet build test race
+.PHONY: ci fmt vet build lint test race golden bench
+
+ci: fmt vet build lint test race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -17,7 +28,15 @@ fmt:
 	fi
 
 vet:
-	$(GO) vet ./...
+	$(GO) vet $(VET_PASSES) ./...
+
+# vclint enforces the determinism and concurrency invariants documented
+# in DESIGN.md §6 (wall-clock reads, map-order-dependent output,
+# randomness sources, mutex discipline, kernel-loop allocations,
+# host-environment reads). Findings are fix-by-hand; suppress a
+# deliberate one with //lint:ignore <analyzer> <reason>.
+lint:
+	$(GO) run ./cmd/vclint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const fixtures = "../../internal/analysis/testdata/"
+
+// runCLI invokes the vclint entry point and captures its streams.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestExitCodes pins the CLI contract: 0 clean, 1 findings, 2 errors.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean-fixture", []string{fixtures + "clean"}, 0},
+		{"findings", []string{fixtures + "detrand"}, 1},
+		{"missing-dir", []string{fixtures + "nosuch"}, 2},
+		{"bad-flag", []string{"-definitely-not-a-flag"}, 2},
+		{"list", []string{"-list"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != tc.want {
+				t.Errorf("exit = %d, want %d (stderr: %s)", code, tc.want, stderr)
+			}
+		})
+	}
+}
+
+// TestFixturePackagesTrip: every analyzer's fixture package must make
+// the CLI exit non-zero — the acceptance contract for the fixtures.
+func TestFixturePackagesTrip(t *testing.T) {
+	for _, dir := range []string{
+		"detnow", "detmaprange", "detrand", "lockheld", "hotalloc", "detenv",
+	} {
+		t.Run(dir, func(t *testing.T) {
+			code, stdout, _ := runCLI(t, fixtures+dir)
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1", code)
+			}
+			if !strings.Contains(stdout, dir+": ") {
+				t.Errorf("output does not attribute findings to %s:\n%s", dir, stdout)
+			}
+		})
+	}
+}
+
+// TestJSONOutput: -json emits one parseable object with the documented
+// shape and still exits 1 on findings.
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", fixtures+"detrand")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var doc struct {
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("-json output unparseable: %v\n%s", err, stdout)
+	}
+	if doc.Count != len(doc.Findings) || doc.Count == 0 {
+		t.Fatalf("count %d vs %d findings", doc.Count, len(doc.Findings))
+	}
+	f := doc.Findings[0]
+	if f.Analyzer != "detrand" || f.Line == 0 || !strings.HasSuffix(f.File, ".go") {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+// TestHumanOutput: the default rendering is file:line:col: analyzer:
+// message, one per line.
+func TestHumanOutput(t *testing.T) {
+	_, stdout, _ := runCLI(t, fixtures+"detrand")
+	line := strings.SplitN(strings.TrimSpace(stdout), "\n", 2)[0]
+	if !strings.Contains(line, ".go:") || !strings.Contains(line, ": detrand: ") {
+		t.Errorf("unexpected human output line: %q", line)
+	}
+}
+
+// TestListOutput names every shipped analyzer.
+func TestListOutput(t *testing.T) {
+	_, stdout, _ := runCLI(t, "-list")
+	for _, name := range []string{
+		"detnow", "detmaprange", "detrand", "lockheld", "hotalloc", "detenv",
+	} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout)
+		}
+	}
+}

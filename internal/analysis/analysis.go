@@ -1,0 +1,67 @@
+// Package analysis is vcprof's stdlib-only static-analysis framework:
+// a package loader built on go/parser + go/types (no x/tools), a driver
+// with //lint:ignore suppression and deterministic diagnostic ordering,
+// and the vclint analyzers that prove the repository's determinism and
+// concurrency invariants (see DESIGN.md §6). cmd/vclint is the CLI.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check. Run inspects a fully type-checked
+// package via the Pass and reports findings through pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-line description shown by `vclint -list`.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass)
+}
+
+// Pass carries one (package, analyzer) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Files returns the package's parsed syntax trees.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns the package's type-checker results.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, addressable to file:line:col. The JSON
+// field names are part of vclint's output contract (tested).
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the conventional compiler-style line.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NewDetEnv builds the detenv analyzer: values read from the host
+// environment — environment variables, hostname, pid, CPU count — vary
+// between machines and runs, so any measurement or table they reach is
+// not reproducible. Inside the scoped deterministic packages such reads
+// are forbidden; host-adaptive behaviour (picking a worker count from
+// runtime.NumCPU, say) belongs in the cmd/ front-ends, which pass the
+// result down as explicit, recorded configuration.
+func NewDetEnv(paths []string) *Analyzer {
+	scope := pathScope{name: "detenv", paths: paths}
+	banned := map[string]map[string]bool{
+		"os": {
+			"Getenv": true, "LookupEnv": true, "Environ": true,
+			"Hostname": true, "Getpid": true, "Getppid": true,
+			"Getwd": true, "UserHomeDir": true, "UserCacheDir": true,
+			"UserConfigDir": true,
+		},
+		"runtime": {"NumCPU": true, "GOMAXPROCS": true},
+	}
+	az := &Analyzer{
+		Name: "detenv",
+		Doc:  "forbid host-environment reads in deterministic packages",
+	}
+	az.Run = func(pass *Pass) {
+		if !scope.in(pass.Pkg.Path) {
+			return
+		}
+		info := pass.TypesInfo()
+		for _, f := range pass.Files() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if names, ok := banned[fn.Pkg().Path()]; ok && names[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"host-dependent %s.%s in deterministic package; take the value as explicit configuration from the cmd/ layer instead",
+						fn.Pkg().Name(), fn.Name())
+				}
+				return true
+			})
+		}
+	}
+	return az
+}

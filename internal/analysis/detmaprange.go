@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewDetMapRange builds the detmaprange analyzer: a `range` over a map
+// whose body has order-dependent effects — appending to a slice,
+// writing rows/bytes to an output sink, or feeding a hash — silently
+// breaks byte-determinism, because Go randomizes map iteration order.
+// The required fix is to collect the keys, sort them, and range over
+// the sorted slice. Commutative bodies (counter merges, set unions) are
+// fine and not flagged; an append whose target slice is later passed to
+// a sort.*/slices.Sort* call in the same function is also accepted,
+// since sorting re-establishes a canonical order.
+//
+// The analyzer is deliberately unscoped: ordered output from a map walk
+// is wrong anywhere in a measurement stack whose tables must be
+// byte-identical across runs.
+func NewDetMapRange() *Analyzer {
+	az := &Analyzer{
+		Name: "detmaprange",
+		Doc:  "forbid map iteration with order-dependent effects unless keys are sorted",
+	}
+	az.Run = func(pass *Pass) {
+		info := pass.TypesInfo()
+		for _, f := range pass.Files() {
+			for _, fd := range funcDecls(f) {
+				checkMapRanges(pass, info, fd)
+			}
+		}
+	}
+	return az
+}
+
+// sinkMethods are method names whose call inside a map-range body means
+// the iteration order reaches rendered output or a hash state.
+var sinkMethods = map[string]bool{
+	"AddRow": true, "Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Sum": true, "Sum32": true, "Sum64": true,
+}
+
+// fmtSinks are fmt functions that emit to a writer (pure Sprintf-style
+// formatting is covered through the append/assignment paths instead).
+var fmtSinks = []string{"Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println"}
+
+func checkMapRanges(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		appends, fieldAppend, sink := mapRangeEffects(info, rng.Body)
+		switch {
+		case sink != "":
+			pass.Reportf(rng.Pos(),
+				"map iteration over %s writes ordered output via %s; collect the keys, sort them, and range over the slice",
+				types.ExprString(rng.X), sink)
+		case fieldAppend:
+			pass.Reportf(rng.Pos(),
+				"map iteration over %s appends to a struct field in randomized order; collect the keys, sort them, and range over the slice",
+				types.ExprString(rng.X))
+		case len(appends) > 0 && !sortedAfter(info, fd, appends):
+			pass.Reportf(rng.Pos(),
+				"map iteration over %s appends to a slice in randomized order and the slice is never sorted; sort the keys first (or sort the result)",
+				types.ExprString(rng.X))
+		}
+		return true
+	})
+}
+
+// mapRangeEffects scans a range body for order-dependent effects:
+// slice-append targets (by object), appends to struct fields, and
+// output-sink calls.
+func mapRangeEffects(info *types.Info, body *ast.BlockStmt) (appends map[types.Object]bool, fieldAppend bool, sink string) {
+	appends = make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(info, call) || i >= len(s.Lhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(s.Lhs[i]).(type) {
+				case *ast.Ident:
+					if obj := info.ObjectOf(lhs); obj != nil {
+						appends[obj] = true
+					}
+				case *ast.SelectorExpr:
+					fieldAppend = true
+				}
+			}
+		case *ast.CallExpr:
+			if name := sinkCallName(info, s); name != "" {
+				sink = name
+			}
+		}
+		return true
+	})
+	return appends, fieldAppend, sink
+}
+
+// isBuiltinAppend reports whether a call is the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sinkCallName classifies a call as an output sink, returning a
+// human-readable name ("" if not a sink).
+func sinkCallName(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	if pkgFuncIn(fn, "fmt", fmtSinks...) {
+		return "fmt." + fn.Name()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && sinkMethods[fn.Name()] {
+		return types.TypeString(sig.Recv().Type(), types.RelativeTo(fn.Pkg())) + "." + fn.Name()
+	}
+	return ""
+}
+
+// sortedAfter reports whether the enclosing function passes any of the
+// appended slices to a sort.* or slices.Sort* call, which restores a
+// canonical order. The check is flow-insensitive on purpose: a sort
+// anywhere in the function is accepted, and vclint's fixture suite pins
+// the accepted shapes.
+func sortedAfter(info *types.Info, fd *ast.FuncDecl, targets map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := calleeFunc(info, call)
+		isSort := pkgFuncIn(fn, "sort", "Sort", "Stable", "Slice", "SliceStable",
+			"Strings", "Ints", "Float64s") ||
+			pkgFuncIn(fn, "slices", "Sort", "SortFunc", "SortStableFunc")
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && targets[info.ObjectOf(id)] {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

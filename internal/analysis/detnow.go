@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// NewDetNow builds the detnow analyzer: no wall-clock reads (time.Now,
+// time.Since, time.Until) inside the configured deterministic paths —
+// cell assembly, metric computation, and table rendering. Wall-clock
+// values differ on every run and host; anything they feed cannot be
+// byte-deterministic, which would break the golden-table suite and the
+// worker-count equivalence guarantee. Time that must appear in a table
+// is modeled (harness.cycleMS over simulated cycles) instead.
+//
+// allowFiles lists base file names (e.g. "engine.go") that form the
+// engine's progress/timing layer, where wall-clock accounting is the
+// point and the values never feed table cells. Individual sites outside
+// the allowlist are suppressed with //lint:ignore detnow <reason>.
+func NewDetNow(paths, allowFiles []string) *Analyzer {
+	scope := pathScope{name: "detnow", paths: paths}
+	allowed := make(map[string]bool, len(allowFiles))
+	for _, f := range allowFiles {
+		allowed[f] = true
+	}
+	az := &Analyzer{
+		Name: "detnow",
+		Doc:  "forbid wall-clock reads in cell-assembly and table-rendering paths",
+	}
+	az.Run = func(pass *Pass) {
+		if !scope.in(pass.Pkg.Path) {
+			return
+		}
+		info := pass.TypesInfo()
+		for _, f := range pass.Files() {
+			if allowed[filepath.Base(pass.Fset.Position(f.Pos()).Filename)] {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if pkgFuncIn(fn, "time", "Now", "Since", "Until") {
+					pass.Reportf(call.Pos(),
+						"wall-clock time.%s in deterministic path; report modeled cycles (harness.cycleMS) or move the timing into the engine's allowlisted progress layer",
+						fn.Name())
+				}
+				return true
+			})
+		}
+	}
+	return az
+}

@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"strconv"
+)
+
+// NewDetRand builds the detrand analyzer: no math/rand, math/rand/v2,
+// or crypto/rand anywhere outside tests. Even a seeded math/rand source
+// is not reproducible across Go releases (the generator is not part of
+// the compatibility promise), and crypto/rand is nondeterministic by
+// design. vcprof derives every pseudo-random value from the
+// deterministic splitmix-style hash generators in internal/video, so
+// clip content and experiment tables are identical on every host.
+// Test files are exempt structurally: the loader never parses them.
+func NewDetRand() *Analyzer {
+	banned := map[string]bool{
+		"math/rand":    true,
+		"math/rand/v2": true,
+		"crypto/rand":  true,
+	}
+	az := &Analyzer{
+		Name: "detrand",
+		Doc:  "forbid math/rand and crypto/rand outside tests",
+	}
+	az.Run = func(pass *Pass) {
+		for _, f := range pass.Files() {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || !banned[path] {
+					continue
+				}
+				pass.Reportf(imp.Pos(),
+					"nondeterministic randomness source %q; derive values from the deterministic hash generators (internal/video) so output is host- and release-independent",
+					path)
+			}
+		}
+	}
+	return az
+}

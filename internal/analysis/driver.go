@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// Run applies every analyzer to every package, filters findings through
+// //lint:ignore directives, and returns the surviving diagnostics in a
+// deterministic order (file, line, col, analyzer, message). Malformed
+// ignore directives are reported as findings of the pseudo-analyzer
+// "vclint".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ignores, bad := parseIgnores(fsetOf(pkg), pkg.Files)
+		out = append(out, bad...)
+		var diags []Diagnostic
+		for _, az := range analyzers {
+			pass := &Pass{Analyzer: az, Fset: fsetOf(pkg), Pkg: pkg, diags: &diags}
+			az.Run(pass)
+		}
+		for _, d := range diags {
+			if !ignores.suppressed(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// fsetOf recovers the FileSet a package was parsed into. Every package
+// from one Loader shares one FileSet; it is threaded through Package
+// positions rather than stored globally.
+func fsetOf(pkg *Package) *token.FileSet { return pkg.fset }
+
+// WriteText renders findings one per line in compiler style.
+func WriteText(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d.String())
+	}
+}
+
+// report is the JSON document vclint -json emits.
+type report struct {
+	Findings []Diagnostic `json:"findings"`
+	Count    int          `json:"count"`
+}
+
+// WriteJSON renders findings as a single JSON object:
+// {"findings":[{analyzer,file,line,col,message}...],"count":N}.
+// An empty finding list marshals as [], not null.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report{Findings: diags, Count: len(diags)})
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness: each testdata package annotates the lines it
+// expects findings on with comments of the form
+//
+//	// want `regexp` [`regexp` ...]
+//
+// Every diagnostic must match a want on its exact line and every want
+// must be matched, so fixtures pin both positives and negatives. The
+// patterns match against "analyzer: message", and the harness runs the
+// full shipped analyzer set — the same instances cmd/vclint uses — so
+// the fixtures also prove the scope rules route each package to the
+// right analyzers.
+
+var wantPattern = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// loadFixture loads one package under testdata.
+func loadFixture(t *testing.T, dir string) []*Package {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./testdata/" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// collectWants extracts the expectations from a package's comments.
+func collectWants(t *testing.T, pkgs []*Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.fset.Position(c.Pos())
+					ms := wantPattern.FindAllStringSubmatch(c.Text[idx:], -1)
+					if len(ms) == 0 {
+						t.Fatalf("%s:%d: want comment without a backquoted pattern", pos.Filename, pos.Line)
+					}
+					for _, m := range ms {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture checks one fixture package against its want comments.
+func runFixture(t *testing.T, dir string) {
+	t.Helper()
+	pkgs := loadFixture(t, dir)
+	wants := collectWants(t, pkgs)
+	diags := Run(pkgs, VCProfAnalyzers())
+	for _, d := range diags {
+		msg := d.Analyzer + ": " + d.Message
+		matched := false
+		for _, w := range wants {
+			if w.file == d.File && w.line == d.Line && w.re.MatchString(msg) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding %s:%d:%d: %s", d.File, d.Line, d.Col, msg)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestFixtures runs every analyzer fixture. Each fixture must both trip
+// its analyzer on the annotated lines and stay silent on the
+// counter-example functions.
+func TestFixtures(t *testing.T) {
+	for _, dir := range []string{
+		"detnow", "detmaprange", "detrand", "lockheld", "hotalloc", "detenv",
+	} {
+		t.Run(dir, func(t *testing.T) { runFixture(t, dir) })
+	}
+}
+
+// TestFixturesFindSomething guards against a silently dead analyzer: a
+// fixture with zero findings and zero wants would pass runFixture.
+func TestFixturesFindSomething(t *testing.T) {
+	for _, dir := range []string{
+		"detnow", "detmaprange", "detrand", "lockheld", "hotalloc", "detenv",
+	} {
+		t.Run(dir, func(t *testing.T) {
+			diags := Run(loadFixture(t, dir), VCProfAnalyzers())
+			if len(diags) == 0 {
+				t.Fatalf("fixture %s produced no findings", dir)
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression: a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// silences the named analyzers on the directive's own line (trailing
+// comment) or on the line directly below it (standalone comment). The
+// reason is mandatory — an ignore without one is itself reported, so
+// every suppression in the tree documents why the invariant does not
+// apply. Parsing is purely syntactic; want-style fixture comments and
+// ordinary prose are untouched.
+
+const ignorePrefix = "lint:ignore"
+
+// ignoreKey addresses one suppressed (file, line, analyzer) triple.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type ignoreSet map[ignoreKey]bool
+
+// suppressed reports whether a diagnostic is covered by a directive on
+// its own line or the line above.
+func (s ignoreSet) suppressed(d Diagnostic) bool {
+	return s[ignoreKey{d.File, d.Line, d.Analyzer}] ||
+		s[ignoreKey{d.File, d.Line - 1, d.Analyzer}]
+}
+
+// parseIgnores scans a package's comments for directives. Malformed
+// directives (no analyzer name or no reason) are returned as
+// diagnostics under the pseudo-analyzer "vclint" so the driver surfaces
+// them instead of silently ignoring nothing.
+func parseIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	set := make(ignoreSet)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names, reason, ok := splitDirective(text)
+				if !ok {
+					bad = append(bad, Diagnostic{
+						Analyzer: "vclint",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				_ = reason
+				for _, name := range names {
+					set[ignoreKey{pos.Filename, pos.Line, name}] = true
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// directiveText extracts the payload of a //lint:ignore comment.
+func directiveText(comment string) (string, bool) {
+	body, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", false // block comments are not directives
+	}
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, ignorePrefix)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. lint:ignorefoo
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// splitDirective parses "<analyzer>[,...] <reason>"; both parts are
+// required.
+func splitDirective(text string) (names []string, reason string, ok bool) {
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		return nil, "", false
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, "", false
+	}
+	return names, strings.Join(fields[1:], " "), true
+}

@@ -1,0 +1,10 @@
+// Package badignore holds a malformed suppression directive (analyzer
+// name but no reason): vclint must report the directive itself rather
+// than silently suppressing nothing.
+package badignore
+
+//lint:ignore detrand
+var x = 1
+
+// Use keeps x referenced.
+func Use() int { return x }

@@ -1,0 +1,47 @@
+// Package clean is vclint's zero-finding fixture: idiomatic,
+// determinism-respecting code that the full analyzer set must pass
+// without a single diagnostic.
+package clean
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Render walks a map in sorted key order before writing rows.
+func Render(rows map[string]int) string {
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Total merges counters commutatively; map order is irrelevant.
+func Total(rows map[string]int) int {
+	total := 0
+	for _, v := range rows {
+		total += v
+	}
+	return total
+}
+
+// counter follows the mutex discipline lockheld checks.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add locks around the guarded write.
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}

@@ -1,0 +1,24 @@
+// Package detenv is vclint's fixture for the detenv analyzer:
+// host-environment reads are banned in deterministic packages.
+package detenv
+
+import (
+	"os"
+	"runtime"
+)
+
+// Workers sizes a pool from the host CPU count.
+func Workers() int {
+	return runtime.NumCPU() // want `detenv: host-dependent runtime\.NumCPU`
+}
+
+// Tag mixes hostname and environment into output.
+func Tag() string {
+	host, _ := os.Hostname()              // want `detenv: host-dependent os\.Hostname`
+	return host + os.Getenv("VCPROF_TAG") // want `detenv: host-dependent os\.Getenv`
+}
+
+// Pid records the process id.
+func Pid() int {
+	return os.Getpid() // want `detenv: host-dependent os\.Getpid`
+}

@@ -1,0 +1,25 @@
+// Package detnow is vclint's fixture for the detnow analyzer: the
+// package path opts into the banned scope, so wall-clock reads here
+// must be flagged.
+package detnow
+
+import "time"
+
+// AssembleCell stands in for a cell-assembly path.
+func AssembleCell() float64 {
+	start := time.Now() // want `detnow: wall-clock time\.Now`
+	work()
+	return time.Since(start).Seconds() // want `detnow: wall-clock time\.Since`
+}
+
+// Remaining stands in for a table-rendering path.
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `detnow: wall-clock time\.Until`
+}
+
+// Epoch is fine: time.Unix is pure arithmetic, not a clock read.
+func Epoch() time.Time {
+	return time.Unix(0, 0)
+}
+
+func work() {}

@@ -1,0 +1,13 @@
+// engine.go matches detnow's allow-file list (the engine's
+// progress/timing layer), so wall-clock reads in this file are not
+// findings even though the package is in scope.
+package detnow
+
+import "time"
+
+// Progress is allowlisted wall-clock accounting.
+func Progress() time.Duration {
+	t0 := time.Now()
+	work()
+	return time.Since(t0)
+}

@@ -1,0 +1,17 @@
+// Package detrand is vclint's fixture for the detrand analyzer: the
+// randomness imports themselves are the findings.
+package detrand
+
+import (
+	crand "crypto/rand" // want `detrand: nondeterministic randomness source "crypto/rand"`
+	"math/rand"         // want `detrand: nondeterministic randomness source "math/rand"`
+)
+
+// Roll mixes both banned sources.
+func Roll() int {
+	var b [1]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return 0
+	}
+	return rand.Intn(6) + int(b[0])
+}

@@ -1,0 +1,48 @@
+// Package hotalloc is vclint's fixture for the hotalloc analyzer:
+// allocation patterns inside kernel loops must be flagged; the same
+// constructs outside loops must not.
+package hotalloc
+
+import "fmt"
+
+// SumLabel formats and concatenates inside the per-sample loop.
+func SumLabel(px []byte) string {
+	out := ""
+	for i, p := range px {
+		lbl := fmt.Sprintf("%d:%d", i, p) // want `hotalloc: fmt\.Sprintf inside a kernel loop`
+		out += lbl                        // want `hotalloc: string \+= inside a kernel loop`
+	}
+	return out
+}
+
+// Join concatenates per iteration.
+func Join(names []string) string {
+	s := ""
+	for _, n := range names {
+		s = s + n // want `hotalloc: string concatenation inside a kernel loop`
+	}
+	return s
+}
+
+// Box converts to an interface per element.
+func Box(vals []int) []any {
+	out := make([]any, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, any(v)) // want `hotalloc: conversion to any inside a kernel loop`
+	}
+	return out
+}
+
+// CondAlloc allocates in the loop condition, which runs per iteration.
+func CondAlloc(n int) int {
+	total := 0
+	for i := 0; len(fmt.Sprint(i)) < n; i++ { // want `hotalloc: fmt\.Sprint inside a kernel loop`
+		total += i
+	}
+	return total
+}
+
+// Describe formats once, outside any loop: not a finding.
+func Describe(px []byte) string {
+	return fmt.Sprintf("%d samples", len(px))
+}

@@ -1,0 +1,23 @@
+// Package ignorefix exercises //lint:ignore suppression in both
+// placements (line above, same line): every violation below carries a
+// reasoned directive, so vclint must report nothing here.
+package ignorefix
+
+import (
+	//lint:ignore detrand suppression fixture: exercises the directive on the line above an import
+	"math/rand"
+)
+
+// Roll uses the suppressed import.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Dump iterates a map into a slice; suppressed on the same line.
+func Dump(m map[string]int) []string {
+	var out []string
+	for k := range m { //lint:ignore detmaprange suppression fixture: consumer treats the result as a set
+		out = append(out, k)
+	}
+	return out
+}

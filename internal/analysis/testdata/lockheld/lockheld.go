@@ -1,0 +1,62 @@
+// Package lockheld is vclint's fixture for the lockheld analyzer:
+// fields sharing a struct with a sync mutex must only be touched with
+// the lock held or from *Locked helpers.
+package lockheld
+
+import "sync"
+
+// cache is the named-type form: a mutex field guards its siblings.
+type cache struct {
+	mu      sync.Mutex
+	entries map[string]int
+	hits    int
+}
+
+// Get follows the lock discipline.
+func (c *cache) Get(k string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[k]
+	if ok {
+		c.hits++
+	}
+	return v, ok
+}
+
+// Peek reads guarded state without the lock.
+func (c *cache) Peek(k string) int {
+	return c.entries[k] // want `lockheld: field c\.entries is guarded`
+}
+
+// resetLocked declares lock ownership by the naming convention, so its
+// unlocked accesses are accepted.
+func (c *cache) resetLocked() {
+	c.entries = map[string]int{}
+	c.hits = 0
+}
+
+// Reset drives resetLocked under the lock.
+func (c *cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resetLocked()
+}
+
+// stats is the anonymous-struct package-cache idiom the harness uses:
+// an embedded Mutex guards the remaining fields.
+var stats = struct {
+	sync.Mutex
+	gets uint64
+}{}
+
+// BumpGood locks the struct around the write.
+func BumpGood() {
+	stats.Lock()
+	stats.gets++
+	stats.Unlock()
+}
+
+// BumpBad writes without holding the lock.
+func BumpBad() {
+	stats.gets++ // want `lockheld: field stats\.gets is guarded`
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import "fmt"
+
+// VCProfAnalyzers returns vclint's analyzer set configured for this
+// repository's invariants (DESIGN.md §6):
+//
+//   - detnow: wall-clock reads are banned in the cell-assembly and
+//     table paths (harness, metrics, perf, encoders). The engine's
+//     progress/timing layer (harness/engine.go) is allowlisted — its
+//     wall-clock numbers are explicitly reporting, never table cells.
+//     The one deliberate read outside the allowlist (encoders.Encode's
+//     Result.Wall) carries a //lint:ignore with its justification.
+//   - detmaprange / detrand: unscoped; randomized map order and
+//     randomness sources are wrong anywhere in a byte-deterministic
+//     measurement stack.
+//   - lockheld: the engine's worker pool hits the cell/clip caches and
+//     the experiment registry concurrently, so their mutex discipline
+//     is checked in harness and video.
+//   - hotalloc: the codec kernels and the per-op simulator loops are
+//     the measured hot paths; allocations there distort the counts the
+//     experiments report.
+//   - detenv: nothing under internal/ may read host environment state;
+//     cmd/ front-ends pass such values down as explicit configuration.
+//
+// Fixture packages under internal/analysis/testdata/<name> opt into the
+// matching analyzer's scope automatically (see pathScope), so the CLI
+// exercises each analyzer end to end on its fixture tree.
+func VCProfAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NewDetNow([]string{
+			"vcprof/internal/harness",
+			"vcprof/internal/metrics",
+			"vcprof/internal/perf",
+			"vcprof/internal/encoders",
+		}, []string{"engine.go"}),
+		NewDetMapRange(),
+		NewDetRand(),
+		NewLockHeld([]string{
+			"vcprof/internal/harness",
+			"vcprof/internal/video",
+		}),
+		NewHotAlloc([]string{
+			"vcprof/internal/codec/transform",
+			"vcprof/internal/codec/motion",
+			"vcprof/internal/codec/intra",
+			"vcprof/internal/codec/quant",
+			"vcprof/internal/uarch/cache",
+			"vcprof/internal/uarch/pipeline",
+		}),
+		NewDetEnv([]string{"vcprof/internal"}),
+	}
+}
+
+// LookupAnalyzer finds one of the configured analyzers by name.
+func LookupAnalyzer(name string) (*Analyzer, error) {
+	for _, az := range VCProfAnalyzers() {
+		if az.Name == name {
+			return az, nil
+		}
+	}
+	return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+}

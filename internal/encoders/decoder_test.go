@@ -13,10 +13,13 @@ func assertFramesEqual(t *testing.T, what string, a, b []*video.Frame) {
 		t.Fatalf("%s: %d frames vs %d", what, len(a), len(b))
 	}
 	for i := range a {
-		for name, pair := range map[string][2]*video.Plane{
-			"Y": {a[i].Y, b[i].Y}, "U": {a[i].U, b[i].U}, "V": {a[i].V, b[i].V},
+		for _, pl := range []struct {
+			name   string
+			pa, pb *video.Plane
+		}{
+			{"Y", a[i].Y, b[i].Y}, {"U", a[i].U, b[i].U}, {"V", a[i].V, b[i].V},
 		} {
-			pa, pb := pair[0], pair[1]
+			name, pa, pb := pl.name, pl.pa, pl.pb
 			if pa.W != pb.W || pa.H != pb.H {
 				t.Fatalf("%s: frame %d %s size %dx%d vs %dx%d", what, i, name, pa.W, pa.H, pb.W, pb.H)
 			}
