@@ -1,11 +1,15 @@
 # CI entry points. `make ci` is the gate: formatting, vet, build, the
-# vclint determinism/concurrency analyzers, the full test suite, and
-# the race pass over the concurrent packages (harness engine +
-# encoders). The race pass re-runs the golden and equivalence suites
-# under the detector, so it gets a long timeout.
+# vclint determinism/concurrency analyzers, the full test suite, a
+# short smoke of both fuzz targets, a single-iteration benchmark pass
+# (which includes the obs disabled-path overhead guard), and the race
+# pass over the concurrent packages (harness engine + encoders). The
+# race pass re-runs the golden and equivalence suites under the
+# detector, so it gets a long timeout.
 
 GO ?= go
 RACE_TIMEOUT ?= 60m
+FUZZTIME ?= 10s
+BENCH_OUT ?= BENCH_pr3
 
 # Every stdlib vet pass, spelled out (from `go tool vet help`) so a
 # toolchain that grows a new pass fails loudly here instead of silently
@@ -17,9 +21,9 @@ VET_PASSES = -appends -asmdecl -assign -atomic -bools -buildtag \
 	-stringintconv -structtag -testinggoroutine -tests -timeformat \
 	-unmarshal -unreachable -unsafeptr -unusedresult
 
-.PHONY: ci fmt vet build lint test race golden bench
+.PHONY: ci fmt vet build lint test race golden bench bench-short fuzz-smoke
 
-ci: fmt vet build lint test race
+ci: fmt vet build lint test fuzz-smoke bench-short race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -52,5 +56,21 @@ race:
 golden:
 	$(GO) test ./internal/harness -run TestGoldenTables -update
 
+# Full benchmark pass. The text file is the benchstat-compatible source
+# of truth (compare runs with `benchstat old.txt new.txt`); benchjson
+# re-emits the same measurements as $(BENCH_OUT).json for dashboards.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/obs | tee $(BENCH_OUT).txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_OUT).json $(BENCH_OUT).txt
+
+# One iteration of every benchmark: proves they still run (and trips
+# the obs allocation guard) without paying full measurement time.
+bench-short:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ . ./internal/obs
+
+# Ten-second smoke of each fuzz target over its committed seed corpus.
+# Finding a crasher here fails CI; reproduce with the file Go writes
+# under testdata/fuzz/<Target>/.
+fuzz-smoke:
+	$(GO) test ./internal/codec/entropy -run=^$$ -fuzz=FuzzBoolCoderRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/encoders -run=^$$ -fuzz=FuzzDecodeBitstream -fuzztime=$(FUZZTIME)

@@ -13,8 +13,13 @@ import (
 	"strconv"
 	"testing"
 
+	"vcprof/internal/codec"
+	"vcprof/internal/codec/entropy"
+	"vcprof/internal/codec/motion"
+	"vcprof/internal/codec/transform"
 	"vcprof/internal/encoders"
 	"vcprof/internal/harness"
+	"vcprof/internal/perf"
 	"vcprof/internal/trace"
 	"vcprof/internal/uarch/bpred"
 	"vcprof/internal/uarch/cache"
@@ -324,4 +329,144 @@ func BenchmarkPipelineReplay(b *testing.B) {
 
 func BenchmarkAblationPrefetcher(b *testing.B) {
 	runExperiment(b, "ablation-prefetch", nil)
+}
+
+// --- Codec kernel micro-benchmarks -----------------------------------
+//
+// The per-kernel benches below time the measured hot paths themselves
+// (uninstrumented: tc=nil exercises the disabled obs/trace fast path,
+// the configuration the overhead guard in internal/obs pins down).
+
+// benchSurface fills a plane with a deterministic pseudo-random pattern
+// (splitmix-style LCG, no math/rand).
+func benchSurface(w, h int, seed uint64) codec.Surface {
+	p := video.NewPlane(w, h)
+	s := seed
+	for i := range p.Pix {
+		s = s*6364136223846793005 + 1442695040888963407
+		p.Pix[i] = byte(s >> 56)
+	}
+	return codec.Surface{Plane: p}
+}
+
+func BenchmarkMotionSAD(b *testing.B) {
+	cur := benchSurface(128, 128, 1)
+	ref := benchSurface(128, 128, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := motion.SAD(nil, cur, 32, 32, ref, 33, 31, 16, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(16 * 16)
+}
+
+func BenchmarkMotionSearch(b *testing.B) {
+	cur := benchSurface(192, 192, 3)
+	ref := benchSurface(192, 192, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := motion.Search(nil, motion.Diamond, cur, 64, 64, ref, 16, 16, 24, codec.MV{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchResidual builds an n×n residual block with mixed energy.
+func benchResidual(n int) []int32 {
+	res := make([]int32, n*n)
+	s := uint64(5)
+	for i := range res {
+		s = s*6364136223846793005 + 1442695040888963407
+		res[i] = int32(s>>56)%256 - 128
+	}
+	return res
+}
+
+func BenchmarkTransformForward16(b *testing.B) {
+	src := benchResidual(16)
+	dst := make([]int32, 16*16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := transform.Forward(nil, src, 16, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransformInverse16(b *testing.B) {
+	src := benchResidual(16)
+	coefs := make([]int32, 16*16)
+	if err := transform.Forward(nil, src, 16, coefs); err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]int32, 16*16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := transform.Inverse(nil, coefs, 16, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBits derives the coder benchmark's bit/probability schedule.
+const benchBitCount = 4096
+
+func benchBits() ([]int, []entropy.Prob) {
+	bits := make([]int, benchBitCount)
+	probs := make([]entropy.Prob, benchBitCount)
+	s := uint64(9)
+	for i := range bits {
+		s = s*6364136223846793005 + 1442695040888963407
+		bits[i] = int(s>>63) & 1
+		probs[i] = entropy.Prob(s>>40) | 1
+	}
+	return bits, probs
+}
+
+func BenchmarkRangeCoderEncode(b *testing.B) {
+	bits, probs := benchBits()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := entropy.NewEncoder(nil, 0)
+		for j, bit := range bits {
+			enc.Bit(bit, probs[j])
+		}
+		enc.Finish()
+	}
+	b.SetBytes(benchBitCount / 8)
+}
+
+func BenchmarkRangeCoderDecode(b *testing.B) {
+	bits, probs := benchBits()
+	enc := entropy.NewEncoder(nil, 0)
+	for j, bit := range bits {
+		enc.Bit(bit, probs[j])
+	}
+	stream := enc.Finish()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := entropy.NewDecoder(stream)
+		for j := range bits {
+			if dec.Bit(probs[j]) != bits[j] {
+				b.Fatal("round-trip mismatch")
+			}
+		}
+	}
+	b.SetBytes(benchBitCount / 8)
+}
+
+// BenchmarkCellStatEndToEnd is the end-to-end cell cost: a full
+// perf-façade run (instrumented encode through the live branch
+// predictor and cache hierarchy), the unit of work everything in the
+// harness engine schedules and memoizes.
+func BenchmarkCellStatEndToEnd(b *testing.B) {
+	clip := benchClip(b)
+	enc := encoders.MustNew(encoders.SVTAV1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perf.Stat(enc, clip, encoders.Options{CRF: 40, Preset: 4, Threads: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

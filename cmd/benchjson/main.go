@@ -1,0 +1,172 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON artifact. The text format stays the benchstat-compatible
+// source of truth; the JSON carries the same measurements parsed into
+// records (plus the raw lines verbatim) for dashboards and scripted
+// regression checks that should not re-implement the bench grammar.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' ./... | benchjson -o BENCH.json
+//	benchjson -o BENCH.json BENCH.txt
+//
+// Parsing never fails the run: lines that are not benchmark results
+// (headers, PASS/ok trailers, harness noise) are preserved in "raw" and
+// otherwise ignored, so a partially failed bench run still yields a
+// well-formed artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metric is one (value, unit) measurement from a benchmark line, e.g.
+// 345.3 ns/op or 741.38 MB/s. Order follows the line.
+type Metric struct {
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string   `json:"name"` // without the -P GOMAXPROCS suffix
+	Pkg        string   `json:"pkg,omitempty"`
+	Procs      int      `json:"procs"`
+	Iterations int64    `json:"iterations"`
+	Metrics    []Metric `json:"metrics"`
+}
+
+// File is the top-level artifact.
+type File struct {
+	Format     string      `json:"format"` // "vcprof-bench/1"
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Raw        []string    `json:"raw"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchjson [-o out.json] [bench.txt]\nReads `go test -bench` output from the file or stdin.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	file, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	enc, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(file.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse consumes the bench text. Grammar per result line:
+//
+//	BenchmarkName[-procs] <tab/space> N <value unit>...
+func parse(r io.Reader) (*File, error) {
+	file := &File{Format: "vcprof-bench/1"}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		file.Raw = append(file.Raw, line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			file.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			file.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			file.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		b, ok := parseResult(line)
+		if !ok {
+			continue
+		}
+		b.Pkg = pkg
+		file.Benchmarks = append(file.Benchmarks, b)
+	}
+	return file, sc.Err()
+}
+
+func parseResult(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// name, iterations, and at least one value+unit pair
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name, procs := splitProcs(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || iters < 0 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics = append(b.Metrics, Metric{Unit: fields[i+1], Value: v})
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// splitProcs strips the trailing -N GOMAXPROCS suffix if present.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n < 1 {
+		return name, 1
+	}
+	return name[:i], n
+}

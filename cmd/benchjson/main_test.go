@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: vcprof
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMotionSAD-8         	 3424016	       345.3 ns/op	 741.38 MB/s
+BenchmarkDisabledSpan        	981244image	ignored garbage
+BenchmarkRangeCoderEncode-8  	   18516	     64625 ns/op	   7.92 MB/s	       0 B/op	       0 allocs/op
+PASS
+ok  	vcprof	19.388s
+`
+
+func TestParseStream(t *testing.T) {
+	f, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" || !strings.Contains(f.CPU, "Xeon") {
+		t.Errorf("header = %q/%q/%q", f.Goos, f.Goarch, f.CPU)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2 (malformed line must be skipped)", len(f.Benchmarks))
+	}
+	sad := f.Benchmarks[0]
+	if sad.Name != "BenchmarkMotionSAD" || sad.Procs != 8 || sad.Iterations != 3424016 || sad.Pkg != "vcprof" {
+		t.Errorf("first benchmark = %+v", sad)
+	}
+	if len(sad.Metrics) != 2 || sad.Metrics[0] != (Metric{Unit: "ns/op", Value: 345.3}) {
+		t.Errorf("metrics = %+v", sad.Metrics)
+	}
+	rc := f.Benchmarks[1]
+	if len(rc.Metrics) != 4 || rc.Metrics[3] != (Metric{Unit: "allocs/op", Value: 0}) {
+		t.Errorf("benchmem metrics = %+v", rc.Metrics)
+	}
+	if len(f.Raw) != strings.Count(sample, "\n") {
+		t.Errorf("raw preserved %d lines, want %d", len(f.Raw), strings.Count(sample, "\n"))
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkX-8", "BenchmarkX", 8},
+		{"BenchmarkX", "BenchmarkX", 1},
+		{"BenchmarkRange-Coder", "BenchmarkRange-Coder", 1}, // dash but no numeric suffix
+		{"BenchmarkY-16", "BenchmarkY", 16},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = %q,%d want %q,%d", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}

@@ -12,6 +12,8 @@
 //	repro -quick all             # everything at the fast scale
 //	repro -csv out/ fig8         # write CSVs to out/
 //	repro -j 8 -v all            # 8 workers, per-experiment stats
+//	repro -trace out.json fig4   # Chrome trace (virtual ticks) of the run
+//	repro -stats fig4            # obs counters + self-profile afterwards
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"runtime"
 
 	"vcprof/internal/harness"
+	"vcprof/internal/obs"
 )
 
 func main() {
@@ -40,6 +43,8 @@ func run() error {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		workers = flag.Int("j", runtime.NumCPU(), "max concurrent cell measurements")
 		verbose = flag.Bool("v", false, "report per-experiment wall time and cache hits")
+		trOut   = flag.String("trace", "", "write a Chrome trace-event JSON (virtual ticks) of the run to this file")
+		stats   = flag.Bool("stats", false, "print obs counters and the self-profile table after the run")
 	)
 	flag.Parse()
 
@@ -69,7 +74,11 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	rep, err := harness.RunAll(ctx, scale, harness.Options{Workers: *workers, Experiments: ids})
+	var sess *obs.Session
+	if *trOut != "" || *stats {
+		sess = obs.NewSession()
+	}
+	rep, err := harness.RunAll(ctx, scale, harness.Options{Workers: *workers, Experiments: ids, Obs: sess})
 	if rep != nil {
 		for _, er := range rep.Results {
 			if *verbose {
@@ -96,6 +105,24 @@ func run() error {
 		st := harness.CellCacheStats()
 		fmt.Fprintf(os.Stderr, "total %.2fs  workers=%d  cache: %d hits / %d misses (%d entries, weight %d/%d)\n",
 			rep.Wall.Seconds(), rep.Workers, st.Hits, st.Misses, st.Entries, st.Weight, st.Cap)
+	}
+	if *trOut != "" {
+		f, err := os.Create(*trOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, sess); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace → %s (load in chrome://tracing or ui.perfetto.dev)\n", *trOut)
+	}
+	if *stats {
+		fmt.Print(obs.RenderCounters(true))
+		fmt.Print(obs.RenderProfile(sess.Profile(), 20))
 	}
 	return nil
 }

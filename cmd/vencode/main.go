@@ -1,14 +1,16 @@
 // Command vencode encodes a procedural vbench clip with one of the five
 // encoder models and reports quality, rate, timing and the dynamic
-// instruction mix. With -trace it also records a micro-op window (the
-// Pin substitute) for cmd/uarchsim and cmd/cbpsim; with -profile it
-// prints the gprof-style flat profile.
+// instruction mix. With -trace it writes the encode's deterministic
+// frame/stage span trace as Chrome trace-event JSON; with -optrace it
+// records a micro-op window (the Pin substitute) for cmd/uarchsim and
+// cmd/cbpsim; with -profile it prints the gprof-style flat profile.
 //
 // Usage:
 //
 //	vencode -encoder svt-av1 -clip game1 -crf 35 -preset 4
 //	vencode -encoder x265 -clip hall -crf 28 -preset 5 -threads 4
-//	vencode -encoder svt-av1 -clip game1 -crf 63 -preset 8 -trace game1.vctr
+//	vencode -encoder svt-av1 -clip game1 -crf 35 -trace game1.json -stats
+//	vencode -encoder svt-av1 -clip game1 -crf 63 -preset 8 -optrace game1.vctr
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os"
 
 	"vcprof/internal/encoders"
+	"vcprof/internal/obs"
 	"vcprof/internal/perf"
 	"vcprof/internal/trace"
 	"vcprof/internal/video"
@@ -38,9 +41,11 @@ func run() error {
 		threads  = flag.Int("threads", 1, "worker threads")
 		frames   = flag.Int("frames", 8, "frames to encode")
 		scale    = flag.Int("scale", 8, "linear resolution divisor")
-		traceOut = flag.String("trace", "", "write a halfway micro-op window to this file")
+		trOut    = flag.String("trace", "", "write the frame/stage span trace (Chrome trace-event JSON, virtual ticks) to this file")
+		stats    = flag.Bool("stats", false, "print obs counters and the self-profile table")
+		traceOut = flag.String("optrace", "", "write a halfway micro-op window to this file")
 		brOut    = flag.String("branchtrace", "", "write a compact branch-only trace (VCBR) to this file")
-		winOps   = flag.Uint64("window", perf.DefaultWindowOps, "micro-op window length for -trace")
+		winOps   = flag.Uint64("window", perf.DefaultWindowOps, "micro-op window length for -optrace")
 		profile  = flag.Bool("profile", false, "print the flat function profile")
 		bsOut    = flag.String("bitstream", "", "write the decodable container to this file")
 		y4mIn    = flag.String("y4m", "", "encode this .y4m file instead of a procedural clip")
@@ -112,6 +117,31 @@ func run() error {
 	}
 	fmt.Println()
 
+	if *trOut != "" || *stats {
+		sess := obs.NewSession()
+		tr := sess.Lane(fmt.Sprintf("vencode/%s/%s", *encName, clip.Meta.Name))
+		encoders.ObserveResult(tr, res)
+		if *trOut != "" {
+			f, err := os.Create(*trOut)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteChromeTrace(f, sess); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("spantrace    %d spans → %s\n", tr.SpanCount(), *trOut)
+		}
+		if *stats {
+			fmt.Println()
+			fmt.Print(obs.RenderCounters(true))
+			fmt.Print(obs.RenderProfile(sess.Profile(), 20))
+		}
+	}
+
 	if *bsOut != "" {
 		if err := os.WriteFile(*bsOut, res.Bitstream, 0o644); err != nil {
 			return err
@@ -143,7 +173,7 @@ func run() error {
 				return err
 			}
 			f.Close()
-			fmt.Printf("trace        %d ops (window at %d/%d) → %s\n", len(rec.Ops), rec.Start, total, *traceOut)
+			fmt.Printf("optrace      %d ops (window at %d/%d) → %s\n", len(rec.Ops), rec.Start, total, *traceOut)
 		}
 		if *brOut != "" {
 			f, err := os.Create(*brOut)

@@ -6,10 +6,15 @@ import "fmt"
 // repository's invariants (DESIGN.md §6):
 //
 //   - detnow: wall-clock reads are banned in the cell-assembly and
-//     table paths (harness, metrics, perf, encoders). The engine's
-//     progress/timing layer (harness/engine.go) is allowlisted — its
-//     wall-clock numbers are explicitly reporting, never table cells.
-//     The one deliberate read outside the allowlist (encoders.Encode's
+//     table paths (harness, metrics, perf, encoders) and in the obs
+//     self-observation layer, whose span clock must stay virtual
+//     (DESIGN.md §7). Two files are allowlisted: the engine's
+//     progress/timing layer (harness/engine.go), whose wall-clock
+//     numbers are explicitly reporting and never table cells, and the
+//     obs real-clock adapter (obs/realclock.go), the single sanctioned
+//     bridge to host time for cmd/ progress narration — its readings
+//     may never feed a Trace, a Counter or rendered tables. The one
+//     deliberate read outside the allowlist (encoders.Encode's
 //     Result.Wall) carries a //lint:ignore with its justification.
 //   - detmaprange / detrand: unscoped; randomized map order and
 //     randomness sources are wrong anywhere in a byte-deterministic
@@ -33,7 +38,8 @@ func VCProfAnalyzers() []*Analyzer {
 			"vcprof/internal/metrics",
 			"vcprof/internal/perf",
 			"vcprof/internal/encoders",
-		}, []string{"engine.go"}),
+			"vcprof/internal/obs",
+		}, []string{"engine.go", "realclock.go"}),
 		NewDetMapRange(),
 		NewDetRand(),
 		NewLockHeld([]string{

@@ -77,6 +77,9 @@ func (e *Encoder) SetSite(pc trace.PC) {
 
 // Bit encodes one bit with probability p that the bit is zero.
 func (e *Encoder) Bit(bit int, p Prob) {
+	// Stage attribution is inline (no defer): Bit is the per-coded-bit
+	// hot path and has a single exit.
+	prevStage := e.tc.BeginStage(trace.StageEntropy)
 	split := 1 + (((e.rng - 1) * uint32(p)) >> 8)
 	// The split comparison is the canonical data-dependent branch of a
 	// range coder: its direction is the coded bit itself.
@@ -117,6 +120,7 @@ func (e *Encoder) Bit(bit int, p Prob) {
 		e.count -= 8
 	}
 	e.low <<= uint(shift)
+	e.tc.EndStage(prevStage)
 }
 
 // BitAdaptive encodes a bit against a context probability and adapts it.

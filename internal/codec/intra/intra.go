@@ -54,6 +54,7 @@ var (
 // Predict fills dst (n×n, row-major) with the prediction for the given
 // mode from the neighbours.
 func Predict(tc *trace.Ctx, mode Mode, nb Neighbors, n int, dst []byte) error {
+	defer tc.EndStage(tc.BeginStage(trace.StageIntra))
 	if n <= 0 || len(dst) < n*n {
 		return fmt.Errorf("intra: invalid block size %d for dst of %d samples", n, len(dst))
 	}

@@ -30,6 +30,7 @@ func (s SubPel) Valid() bool { return s.X <= 1 && s.Y <= 1 }
 // one sample right/below for half phases, so the caller must ensure
 // x+w+1 <= ref.W and y+h+1 <= ref.H when a phase component is set.
 func InterpHalfPel(tc *trace.Ctx, ref codec.Surface, x, y int, sub SubPel, w, h int, dst []byte) error {
+	defer tc.EndStage(tc.BeginStage(trace.StageMotion))
 	if !sub.Valid() {
 		return fmt.Errorf("motion: invalid sub-pel phase %+v", sub)
 	}

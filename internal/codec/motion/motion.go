@@ -48,6 +48,7 @@ func sadSite(w, h int) int { return sizeClass(w)*6 + sizeClass(h) }
 // (cx, cy) in cur and the block at (rx, ry) in ref. Both blocks must be
 // fully inside their surfaces.
 func SAD(tc *trace.Ctx, cur codec.Surface, cx, cy int, ref codec.Surface, rx, ry, w, h int) (int32, error) {
+	defer tc.EndStage(tc.BeginStage(trace.StageMotion))
 	if cx < 0 || cy < 0 || cx+w > cur.W || cy+h > cur.H {
 		return 0, fmt.Errorf("motion: current block %d,%d %dx%d outside %dx%d", cx, cy, w, h, cur.W, cur.H)
 	}
@@ -130,6 +131,7 @@ func (a Algorithm) String() string {
 // in-frame positions. pred seeds the search (the MV predictor from
 // neighbouring blocks).
 func Search(tc *trace.Ctx, alg Algorithm, cur codec.Surface, bx, by int, ref codec.Surface, w, h, rng int, pred codec.MV) (Result, error) {
+	defer tc.EndStage(tc.BeginStage(trace.StageMotion))
 	if rng < 1 {
 		return Result{}, fmt.Errorf("motion: invalid search range %d", rng)
 	}

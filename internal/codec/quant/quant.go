@@ -48,6 +48,7 @@ func quantClass(n int) int {
 // the number of nonzero levels. coefs and levels must have equal length
 // and may alias.
 func Quantize(tc *trace.Ctx, coefs []int32, qindex int, levels []int32) (nonzero int, err error) {
+	defer tc.EndStage(tc.BeginStage(trace.StageQuant))
 	if len(levels) != len(coefs) {
 		return 0, fmt.Errorf("quant: levels length %d != coefs length %d", len(levels), len(coefs))
 	}
@@ -94,6 +95,7 @@ func Quantize(tc *trace.Ctx, coefs []int32, qindex int, levels []int32) (nonzero
 // Dequantize reconstructs coefficients from levels. levels and coefs
 // must have equal length and may alias.
 func Dequantize(tc *trace.Ctx, levels []int32, qindex int, coefs []int32) error {
+	defer tc.EndStage(tc.BeginStage(trace.StageQuant))
 	if len(levels) != len(coefs) {
 		return fmt.Errorf("quant: coefs length %d != levels length %d", len(coefs), len(levels))
 	}

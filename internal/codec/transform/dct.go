@@ -75,6 +75,7 @@ func validSize(n int) error {
 // (row-major) and writes rounded coefficients to dst. src and dst must
 // hold n*n values and may alias.
 func Forward(tc *trace.Ctx, src []int32, n int, dst []int32) error {
+	defer tc.EndStage(tc.BeginStage(trace.StageTransform))
 	if err := validSize(n); err != nil {
 		return err
 	}
@@ -109,6 +110,7 @@ func Forward(tc *trace.Ctx, src []int32, n int, dst []int32) error {
 // Inverse applies the inverse transform of Forward. src and dst must
 // hold n*n values and may alias.
 func Inverse(tc *trace.Ctx, src []int32, n int, dst []int32) error {
+	defer tc.EndStage(tc.BeginStage(trace.StageTransform))
 	if err := validSize(n); err != nil {
 		return err
 	}

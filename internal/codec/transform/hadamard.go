@@ -56,6 +56,7 @@ func satd4x4(tc *trace.Ctx, res []int32) int32 {
 // multiples of 4) by tiling 4×4 SATDs, the standard mode-decision
 // distortion metric at fast presets.
 func SATD(tc *trace.Ctx, res []int32, w, h int) (int32, error) {
+	defer tc.EndStage(tc.BeginStage(trace.StageTransform))
 	if w%4 != 0 || h%4 != 0 || w <= 0 || h <= 0 {
 		return 0, fmt.Errorf("transform: SATD size %dx%d not a positive multiple of 4", w, h)
 	}

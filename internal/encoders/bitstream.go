@@ -213,5 +213,14 @@ func parseHeader(r *bsReader) (*bitstreamHeader, error) {
 	if h.w <= 0 || h.h <= 0 || h.frames <= 0 {
 		return nil, fmt.Errorf("encoders: invalid sequence geometry %dx%d x%d", h.w, h.h, h.frames)
 	}
+	// Plausibility bound: the decoder allocates aligned planes per frame
+	// and keeps every reference picture, so an adversarial header must
+	// not be able to demand gigabytes before the first payload byte is
+	// read. 8192 px per side covers 8K video; the total-sample budget is
+	// two orders of magnitude above anything the scaled harness encodes.
+	const maxDim, maxSamples = 8192, 1 << 26
+	if h.w > maxDim || h.h > maxDim || h.w*h.h*h.frames > maxSamples {
+		return nil, fmt.Errorf("encoders: implausible sequence geometry %dx%d x%d", h.w, h.h, h.frames)
+	}
 	return h, nil
 }

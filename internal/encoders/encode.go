@@ -56,6 +56,7 @@ func (m *model) assemble(se *streamEncoder, ws *workerSet, clip *video.Clip, wal
 		if pic.isKey {
 			res.KeyFrames = append(res.KeyFrames, pic.index)
 		}
+		res.FrameStages = append(res.FrameStages, pic.stages)
 	}
 	var err error
 	if res.PSNR, err = metrics.SequencePSNR(clip.Frames, res.Recon); err != nil {

@@ -93,6 +93,10 @@ type Result struct {
 	Mix         trace.Mix
 	Insts       uint64
 	WorkerInsts []uint64
+	// FrameStages is the per-frame, per-pipeline-stage instruction
+	// breakdown (motion/intra/transform/quant/entropy/other), summed
+	// from task-level snapshots; deterministic across thread counts.
+	FrameStages []trace.StageCounts
 }
 
 // Encoder is one encoder model.

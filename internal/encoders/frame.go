@@ -83,6 +83,11 @@ type picture struct {
 	statMu     sync.Mutex
 	shapeCount [numShapes]uint64
 	skipCount  uint64
+	// Per-stage instruction totals of this frame's tasks, merged from
+	// runTask snapshots under statMu. Task-to-frame attribution is
+	// scheduling-independent, so these sums are deterministic across
+	// thread counts (the obs frame-span contract).
+	stages trace.StageCounts
 }
 
 // mergeStats folds a finished segment's decision tallies into the
@@ -93,6 +98,14 @@ func (p *picture) mergeStats(sc *segCtx) {
 		p.shapeCount[i] += n
 	}
 	p.skipCount += sc.skipCount
+	p.statMu.Unlock()
+}
+
+// addStages folds one task's per-stage instruction delta into the
+// frame totals.
+func (p *picture) addStages(d *trace.StageCounts) {
+	p.statMu.Lock()
+	p.stages.Add(d)
 	p.statMu.Unlock()
 }
 

@@ -1,0 +1,114 @@
+package encoders
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"vcprof/internal/video"
+)
+
+// gencorpus regenerates the committed seed corpus from real encodes:
+//
+//	go test ./internal/encoders -run GenFuzzCorpus -gencorpus
+var gencorpus = flag.Bool("gencorpus", false, "rewrite the committed fuzz seed corpus")
+
+// fuzzClip builds the tiny deterministic clip the seed corpus encodes.
+func fuzzClip(t testing.TB, frames int) *video.Clip {
+	t.Helper()
+	clip, err := video.Generate(video.ClipMeta{
+		Name: "fuzzseed", Width: 64, Height: 64, FPS: 30, Entropy: 4.5, Seed: 7,
+	}, video.GenerateOptions{Frames: frames, ScaleDiv: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clip
+}
+
+// fuzzSeedStreams encodes one tiny clip per family and returns the
+// containers: real, decodable inputs that put the fuzzer deep inside
+// the payload parser from the first execution.
+func fuzzSeedStreams(t testing.TB) map[string][]byte {
+	t.Helper()
+	clip := fuzzClip(t, 3)
+	out := map[string][]byte{}
+	for _, fam := range Families() {
+		enc := MustNew(fam)
+		lo, hi := enc.CRFRange()
+		res, err := enc.Encode(clip, Options{CRF: (lo + hi) / 2, Preset: 5, Threads: 1, KeepBitstream: true})
+		if err != nil {
+			t.Fatalf("%s: seed encode: %v", fam, err)
+		}
+		out[string(fam)] = res.Bitstream
+	}
+	return out
+}
+
+const fuzzCorpusDir = "testdata/fuzz/FuzzDecodeBitstream"
+
+// TestGenFuzzCorpus rewrites the committed corpus under -gencorpus and
+// otherwise verifies the committed seeds still decode (i.e. the corpus
+// is not stale against the current container version).
+func TestGenFuzzCorpus(t *testing.T) {
+	if *gencorpus {
+		if err := os.MkdirAll(fuzzCorpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for fam, bs := range fuzzSeedStreams(t) {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(bs)) + ")\n"
+			path := filepath.Join(fuzzCorpusDir, "seed-"+fam)
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("seed corpus rewritten under %s", fuzzCorpusDir)
+		return
+	}
+	entries, err := os.ReadDir(fuzzCorpusDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("seed corpus missing (run with -gencorpus): %v", err)
+	}
+}
+
+// FuzzDecodeBitstream feeds arbitrary bytes to the container decoder.
+// The decoder must never panic, never allocate implausibly (the header
+// geometry cap), and when it does accept an input, the frames it
+// returns must be structurally sound.
+func FuzzDecodeBitstream(f *testing.F) {
+	// Truncations and near-miss headers steer early mutation toward the
+	// parser's decision points; the committed corpus under testdata/fuzz
+	// contributes full valid streams for every family.
+	f.Add([]byte{})
+	f.Add([]byte("VCBS"))
+	f.Add([]byte("VCBS\x03\x07svt-av1"))
+	f.Add([]byte("XCBS\x03\x07svt-av1\x40\x00\x40\x00\x01\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames, err := DecodeBitstream(data)
+		if err != nil {
+			return
+		}
+		if len(frames) == 0 {
+			t.Fatal("accepted bitstream decoded to zero frames")
+		}
+		w, h := frames[0].Y.W, frames[0].Y.H
+		for i, fr := range frames {
+			if fr == nil || fr.Y == nil || fr.U == nil || fr.V == nil {
+				t.Fatalf("frame %d has nil planes", i)
+			}
+			if fr.Y.W != w || fr.Y.H != h {
+				t.Fatalf("frame %d geometry %dx%d differs from frame 0 %dx%d", i, fr.Y.W, fr.Y.H, w, h)
+			}
+			if fr.U.W != fr.V.W || fr.U.H != fr.V.H || fr.U.W != w/2 || fr.U.H != h/2 {
+				t.Fatalf("frame %d chroma geometry %dx%d inconsistent with luma %dx%d", i, fr.U.W, fr.U.H, w, h)
+			}
+			if len(fr.Y.Pix) < fr.Y.W*fr.Y.H {
+				t.Fatalf("frame %d luma buffer %d too small for %dx%d", i, len(fr.Y.Pix), fr.Y.W, fr.Y.H)
+			}
+			if fr.Index != i {
+				t.Fatalf("frame %d carries index %d", i, fr.Index)
+			}
+		}
+	})
+}

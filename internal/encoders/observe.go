@@ -1,0 +1,55 @@
+package encoders
+
+import (
+	"strconv"
+
+	"vcprof/internal/obs"
+	"vcprof/internal/trace"
+)
+
+// Span names for the per-frame stage breakdown, interned once. The
+// stage names come from trace.Stage so the trace vocabulary and the
+// span vocabulary cannot drift apart.
+var (
+	obsFrameName  = obs.Name("frame")
+	obsStageNames = func() [trace.NumStages]obs.NameID {
+		var a [trace.NumStages]obs.NameID
+		for i := range a {
+			a[i] = obs.Name("stage/" + trace.Stage(i).String())
+		}
+		return a
+	}()
+)
+
+// ObserveFrameStages appends one span per frame, with one child span
+// per active pipeline stage, advancing the virtual clock by the stage's
+// instruction count. The input is deterministic across thread counts
+// (see Result.FrameStages), so the emitted spans are too. Zero-count
+// stages are skipped; the frame span's duration is the frame's total
+// instructions.
+func ObserveFrameStages(tr *obs.Trace, frames []trace.StageCounts) {
+	if !tr.Enabled() {
+		return
+	}
+	for i := range frames {
+		fs := tr.BeginArg(obsFrameName, "f"+strconv.Itoa(i))
+		for s, n := range frames[i] {
+			if n == 0 {
+				continue
+			}
+			ss := tr.Begin(obsStageNames[s])
+			tr.Advance(n)
+			ss.End()
+		}
+		fs.End()
+	}
+}
+
+// ObserveResult appends the encode's frame/stage spans to tr — the
+// cmd/vencode entry point for the obs trace of a single encode.
+func ObserveResult(tr *obs.Trace, res *Result) {
+	if !tr.Enabled() || res == nil {
+		return
+	}
+	ObserveFrameStages(tr, res.FrameStages)
+}

@@ -1,6 +1,8 @@
 package encoders
 
 import (
+	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -135,6 +137,142 @@ func TestMVRoundTripQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// --- cross-encoder property suite -----------------------------------
+//
+// The three properties below hold for every encoder family at every
+// operating point, so they are checked on randomized (but seeded, hence
+// reproducible) parameter grids rather than hand-picked cases. A
+// failure message always carries the full operating point; re-running
+// the named subtest replays it exactly.
+
+// propPoint is one randomized operating point.
+type propPoint struct {
+	clip    string
+	frames  int
+	crf     int // AV1 scale 0–63; mapped into the family's range
+	preset  int
+	threads int
+}
+
+func (p propPoint) String() string {
+	return fmt.Sprintf("%s f%d crf%d p%d t%d", p.clip, p.frames, p.crf, p.preset, p.threads)
+}
+
+// propClips spans the content classes (screen content, game, camera).
+var propClips = []string{"desktop", "game1", "game2", "hall"}
+
+// randomPoints draws seeded operating points for a family. CRF is kept
+// off the extreme endpoints, where some families clamp to the same
+// quantizer and points would alias.
+func randomPoints(r *rand.Rand, enc Encoder, n int) []propPoint {
+	pLo, pHi, _ := enc.PresetRange()
+	pts := make([]propPoint, n)
+	for i := range pts {
+		pts[i] = propPoint{
+			clip:    propClips[r.Intn(len(propClips))],
+			frames:  2 + r.Intn(2),
+			crf:     5 + r.Intn(54),
+			preset:  pLo + r.Intn(pHi-pLo+1),
+			threads: 1 + r.Intn(4),
+		}
+	}
+	return pts
+}
+
+// famCRF maps an AV1-scale CRF into the family's own range, the same
+// proportional mapping the harness grids use.
+func famCRF(enc Encoder, crf int) int {
+	_, hi := enc.CRFRange()
+	return crf * hi / 63
+}
+
+// propSeed derives a stable per-family seed so each family replays its
+// own grid independently of the others.
+func propSeed(fam Family) int64 {
+	var s int64 = 0x9E3779B9
+	for _, c := range []byte(fam) {
+		s = s*131 + int64(c)
+	}
+	return s
+}
+
+// TestCrossEncoderRoundTripAndDeterminism encodes randomized operating
+// points for all five families and asserts, per point: the container
+// decodes back bit-identically to the encoder's own reconstruction,
+// and an immediately repeated encode reproduces the identical
+// bitstream and instruction count (including at thread counts > 1 —
+// worker scheduling must not leak into output).
+func TestCrossEncoderRoundTripAndDeterminism(t *testing.T) {
+	for _, fam := range Families() {
+		fam := fam
+		t.Run(string(fam), func(t *testing.T) {
+			enc := MustNew(fam)
+			r := rand.New(rand.NewSource(propSeed(fam)))
+			for _, pt := range randomPoints(r, enc, 3) {
+				clip := testClip(t, pt.clip, pt.frames, 16)
+				opts := Options{CRF: famCRF(enc, pt.crf), Preset: pt.preset,
+					Threads: pt.threads, KeepBitstream: true}
+				res, err := enc.Encode(clip, opts)
+				if err != nil {
+					t.Fatalf("%v: encode: %v", pt, err)
+				}
+				dec, err := DecodeBitstream(res.Bitstream)
+				if err != nil {
+					t.Fatalf("%v: decode: %v", pt, err)
+				}
+				assertFramesEqual(t, pt.String(), res.Recon, dec)
+				res2, err := enc.Encode(clip, opts)
+				if err != nil {
+					t.Fatalf("%v: re-encode: %v", pt, err)
+				}
+				if !bytes.Equal(res.Bitstream, res2.Bitstream) {
+					t.Errorf("%v: bitstream differs between identical runs (%d vs %d bytes)",
+						pt, len(res.Bitstream), len(res2.Bitstream))
+				}
+				if res.Insts != res2.Insts {
+					t.Errorf("%v: instruction count differs between identical runs (%d vs %d)",
+						pt, res.Insts, res2.Insts)
+				}
+			}
+		})
+	}
+}
+
+// TestCrossEncoderSizeMonotoneInCRF asserts the rate-control direction
+// for every family: at well-separated CRF points (the quantizer maps
+// are step functions, so adjacent points may tie) the lower CRF must
+// produce the strictly larger bitstream.
+func TestCrossEncoderSizeMonotoneInCRF(t *testing.T) {
+	for _, fam := range Families() {
+		fam := fam
+		t.Run(string(fam), func(t *testing.T) {
+			enc := MustNew(fam)
+			r := rand.New(rand.NewSource(propSeed(fam) ^ 0x5bd1e995))
+			for i := 0; i < 2; i++ {
+				clipName := propClips[r.Intn(len(propClips))]
+				clip := testClip(t, clipName, 2, 16)
+				pLo, pHi, _ := enc.PresetRange()
+				preset := pLo + r.Intn(pHi-pLo+1)
+				crfLo := 5 + r.Intn(12)  // 5..16
+				crfHi := 45 + r.Intn(12) // 45..56
+				sizeAt := func(crf int) int {
+					res, err := enc.Encode(clip, Options{CRF: famCRF(enc, crf), Preset: preset,
+						Threads: 1, KeepBitstream: true})
+					if err != nil {
+						t.Fatalf("%s crf%d p%d: %v", clipName, crf, preset, err)
+					}
+					return len(res.Bitstream)
+				}
+				lo, hi := sizeAt(crfLo), sizeAt(crfHi)
+				if lo <= hi {
+					t.Errorf("%s p%d: size(crf%d)=%d not greater than size(crf%d)=%d",
+						clipName, preset, crfLo, lo, crfHi, hi)
+				}
+			}
+		})
 	}
 }
 

@@ -28,10 +28,12 @@ import (
 // from host wall-clock, so they are deterministic and reproducible on
 // any machine, including single-core CI runners.
 
-// task is one schedulable unit.
+// task is one schedulable unit. pic, when set, is the picture the
+// task's work is attributed to for the per-frame stage breakdown.
 type task struct {
 	name string
 	deps []int
+	pic  *picture
 	run  func(worker int, tc *trace.Ctx) error
 }
 
@@ -41,16 +43,34 @@ type graph struct {
 	tasks []task
 }
 
-// add appends a task and returns its id. All deps must already exist.
-func (g *graph) add(name string, deps []int, run func(worker int, tc *trace.Ctx) error) int {
+// add appends a task attributed to pic and returns its id. All deps
+// must already exist.
+func (g *graph) add(pic *picture, name string, deps []int, run func(worker int, tc *trace.Ctx) error) int {
 	id := len(g.tasks)
 	for _, d := range deps {
 		if d < 0 || d >= id {
 			panic(fmt.Sprintf("encoders: task %q depends on invalid task %d", name, d))
 		}
 	}
-	g.tasks = append(g.tasks, task{name: name, deps: append([]int(nil), deps...), run: run})
+	g.tasks = append(g.tasks, task{name: name, deps: append([]int(nil), deps...), pic: pic, run: run})
 	return id
+}
+
+// runTask executes one task on tc, snapshotting the context's
+// per-stage instruction counters around the body and folding the delta
+// into the task's picture. Each task runs wholly on one worker's
+// context, so the delta is exact; per-frame sums are therefore
+// independent of which worker ran what — the property that keeps the
+// obs frame spans byte-identical across worker counts.
+func runTask(t *task, worker int, tc *trace.Ctx) error {
+	if t.pic == nil || tc == nil {
+		return t.run(worker, tc)
+	}
+	before := tc.StageCounts()
+	err := t.run(worker, tc)
+	delta := tc.StageCounts().Sub(before)
+	t.pic.addStages(&delta)
+	return err
 }
 
 // workerSet holds the per-worker instrumentation contexts and scratch
@@ -89,7 +109,7 @@ func runLive(g *graph, ws *workerSet) error {
 	}
 	if ws.n == 1 {
 		for i := range g.tasks {
-			if err := g.tasks[i].run(0, ws.ctxs[0]); err != nil {
+			if err := runTask(&g.tasks[i], 0, ws.ctxs[0]); err != nil {
 				return fmt.Errorf("task %s: %w", g.tasks[i].name, err)
 			}
 		}
@@ -139,7 +159,7 @@ func runLive(g *graph, ws *workerSet) error {
 				stop := firstErr != nil
 				mu.Unlock()
 				if !stop {
-					if err := g.tasks[id].run(worker, ws.ctxs[worker]); err != nil {
+					if err := runTask(&g.tasks[id], worker, ws.ctxs[worker]); err != nil {
 						mu.Lock()
 						if firstErr == nil {
 							firstErr = fmt.Errorf("task %s: %w", g.tasks[id].name, err)
@@ -162,7 +182,7 @@ func runProfiled(g *graph, ws *workerSet) ([]uint64, error) {
 	costs := make([]uint64, len(g.tasks))
 	for i := range g.tasks {
 		tc := trace.New()
-		if err := g.tasks[i].run(0, tc); err != nil {
+		if err := runTask(&g.tasks[i], 0, tc); err != nil {
 			return nil, fmt.Errorf("task %s: %w", g.tasks[i].name, err)
 		}
 		costs[i] = tc.Total()
@@ -404,7 +424,7 @@ func (se *streamEncoder) addAnalysisTasks(g *graph) [][]int {
 			if end > se.gh {
 				end = se.gh
 			}
-			id := g.add(fmt.Sprintf("analyze/p%d/g%d", pic.index, gy), nil,
+			id := g.add(pic, fmt.Sprintf("analyze/p%d/g%d", pic.index, gy), nil,
 				func(w int, tc *trace.Ctx) error {
 					return se.analyzeRows(tc, pic, se.pics[pic.index-1], gy, end, 0, se.gw)
 				})
@@ -446,7 +466,7 @@ func (se *streamEncoder) buildSegments(ws *workerSet) *graph {
 				deps = append(deps, prevDeblock...)
 				slot := r*colChunks + cc
 				pic.segRects[slot] = rect
-				id := g.add(fmt.Sprintf("seg/p%d/r%d/c%d", pic.index, r, cc), deps,
+				id := g.add(pic, fmt.Sprintf("seg/p%d/r%d/c%d", pic.index, r, cc), deps,
 					func(w int, tc *trace.Ctx) error {
 						data, err := se.encodeSegment(w, tc, ws, pic, rect)
 						pic.segStreams[slot] = data
@@ -469,14 +489,14 @@ func (se *streamEncoder) buildSegments(ws *workerSet) *graph {
 			if r+1 < rows {
 				deps = append(deps, segAt[r+1]...)
 			}
-			id := g.add(fmt.Sprintf("deblock/p%d/r%d", pic.index, r), deps,
+			id := g.add(pic, fmt.Sprintf("deblock/p%d/r%d", pic.index, r), deps,
 				func(w int, tc *trace.Ctx) error {
 					deblockRows(tc, pic.recY, r*sbSize, (r+1)*sbSize, pic.step)
 					return nil
 				})
 			deblockIDs = append(deblockIDs, id)
 		}
-		fin := g.add(fmt.Sprintf("finalize/p%d", pic.index), segIDs,
+		fin := g.add(pic, fmt.Sprintf("finalize/p%d", pic.index), segIDs,
 			func(w int, tc *trace.Ctx) error {
 				pic.finalizeBytes()
 				return se.rateUpdate(pic)
@@ -515,7 +535,7 @@ func (se *streamEncoder) buildTiles(ws *workerSet) *graph {
 				}
 				slot := tr*tileCols + tcI
 				pic.segRects[slot] = rect
-				id := g.add(fmt.Sprintf("tile/p%d/t%d", pic.index, slot), prevPicDone,
+				id := g.add(pic, fmt.Sprintf("tile/p%d/t%d", pic.index, slot), prevPicDone,
 					func(w int, tc *trace.Ctx) error {
 						if pic.index > 0 {
 							gy0 := rect.row0 * sbSize / analysisGrid
@@ -533,7 +553,7 @@ func (se *streamEncoder) buildTiles(ws *workerSet) *graph {
 				tileIDs = append(tileIDs, id)
 			}
 		}
-		fin := g.add(fmt.Sprintf("finalize/p%d", pic.index), tileIDs,
+		fin := g.add(pic, fmt.Sprintf("finalize/p%d", pic.index), tileIDs,
 			func(w int, tc *trace.Ctx) error {
 				deblockRows(tc, pic.recY, 0, se.ah, pic.step)
 				pic.finalizeBytes()
@@ -578,7 +598,7 @@ func (se *streamEncoder) buildFrameParallel(ws *workerSet) *graph {
 				}
 				deps = append(deps, states[pic.index-1].rowIDs[refRow])
 			}
-			id := g.add(fmt.Sprintf("row/p%d/r%d", pic.index, r), deps,
+			id := g.add(pic, fmt.Sprintf("row/p%d/r%d", pic.index, r), deps,
 				func(w int, tc *trace.Ctx) error {
 					if st.sc == nil {
 						prev, prev2 := se.refsFor(pic)
@@ -653,7 +673,7 @@ func (se *streamEncoder) buildMaster(ws *workerSet) *graph {
 		if prev >= 0 {
 			deps = append(deps, prev)
 		}
-		prev = g.add(fmt.Sprintf("encode/p%d", pic.index), deps,
+		prev = g.add(pic, fmt.Sprintf("encode/p%d", pic.index), deps,
 			func(w int, tc *trace.Ctx) error {
 				rect := segRect{row0: 0, row1: se.sbRows(), col0: 0, col1: se.sbCols()}
 				data, err := se.encodeSegment(w, tc, ws, pic, rect)

@@ -213,6 +213,7 @@ func getCell(c Cell) (CellResult, bool, error) {
 		cellCache.lru.MoveToFront(e.elem)
 		cellCache.hits++
 		cellCache.Unlock()
+		obsCellHits.Add(1)
 		<-e.done
 		return e.val, true, e.err
 	}
@@ -221,6 +222,7 @@ func getCell(c Cell) (CellResult, bool, error) {
 	cellCache.m[c] = e
 	cellCache.misses++
 	cellCache.Unlock()
+	obsCellMisses.Add(1)
 
 	e.val, e.err = c.run()
 	close(e.done)

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"vcprof/internal/obs"
 )
 
 // Plan is an experiment lowered to the engine's form: the cell grid to
@@ -29,6 +31,11 @@ type Options struct {
 	Workers int
 	// Experiments selects a subset by ID (nil/empty = all registered).
 	Experiments []string
+	// Obs, when non-nil, receives one deterministic trace lane per
+	// experiment (spans assembled in cell-index order after each
+	// experiment completes) plus engine counters. nil disables
+	// observation at zero cost.
+	Obs *obs.Session
 }
 
 // ExperimentReport is the per-experiment slice of a Report.
@@ -88,7 +95,7 @@ func RunAll(ctx context.Context, s Scale, opts Options) (*Report, error) {
 	start := time.Now()
 	for _, e := range exps {
 		t0 := time.Now()
-		tables, cells, hits, err := runExperiment(ctx, e, s, workers)
+		tables, cells, hits, err := runExperiment(ctx, e, s, workers, opts.Obs)
 		if err != nil {
 			return rep, fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -102,7 +109,7 @@ func RunAll(ctx context.Context, s Scale, opts Options) (*Report, error) {
 }
 
 // runExperiment plans and executes one experiment.
-func runExperiment(ctx context.Context, e Experiment, s Scale, workers int) ([]*Table, int, int, error) {
+func runExperiment(ctx context.Context, e Experiment, s Scale, workers int, sess *obs.Session) ([]*Table, int, int, error) {
 	if e.Plan == nil {
 		return nil, 0, 0, fmt.Errorf("harness: experiment %s has no plan", e.ID)
 	}
@@ -114,6 +121,11 @@ func runExperiment(ctx context.Context, e Experiment, s Scale, workers int) ([]*
 	if err != nil {
 		return nil, len(p.Cells), hits, err
 	}
+	obsExperiments.Add(1)
+	obsCells.Add(uint64(len(p.Cells)))
+	// Observation happens after the parallel section, on a fresh lane,
+	// walking cells in index order: the trace cannot see scheduling.
+	observeExperiment(sess.Lane(e.ID), e, p.Cells, res)
 	tables, err := p.Assemble(s, res)
 	return tables, len(p.Cells), hits, err
 }
@@ -133,6 +145,7 @@ func runCells(ctx context.Context, cells []Cell, workers int) ([]CellResult, int
 	var (
 		wg       sync.WaitGroup
 		hits     atomic.Int64
+		inflight atomic.Int64
 		errMu    sync.Mutex
 		firstErr error
 	)
@@ -155,6 +168,8 @@ submit:
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			obsOccupancyPeak.Max(uint64(inflight.Add(1)))
+			defer inflight.Add(-1)
 			r, hit, err := getCell(cells[i])
 			if err != nil {
 				fail(fmt.Errorf("cell %s: %w", cells[i], err))
@@ -186,6 +201,6 @@ func (e Experiment) Run(s Scale) ([]*Table, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	tables, _, _, err := runExperiment(context.Background(), e, s, 1)
+	tables, _, _, err := runExperiment(context.Background(), e, s, 1, nil)
 	return tables, err
 }

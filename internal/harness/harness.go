@@ -171,6 +171,7 @@ func cachedClip(name string, frames, div int) (*video.Clip, error) {
 	clipCache.Lock()
 	clipCache.gens++
 	clipCache.Unlock()
+	obsClipGens.Add(1)
 	close(e.done)
 	return e.clip, e.err
 }

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteChromeTrace serializes the session as Chrome trace-event JSON
+// (the chrome://tracing / Perfetto "JSON Array Format"): one complete
+// ("X") event per span, one metadata event naming each lane, and one
+// counter ("C") event per deterministic registry counter. Virtual
+// ticks map 1:1 onto the format's microsecond field — absolute units
+// are modeled quantities, not time, which is exactly what the viewer's
+// relative widths should show.
+//
+// The serialization is hand-built and fully ordered (lanes in creation
+// order, spans in recording order, counters sorted by name), so equal
+// observed runs produce byte-identical files. Volatile counters are
+// excluded, and so are zero-valued ones: the registry is process-global
+// and accretes counters from every linked package, and a counter the
+// run never touched is noise in the viewer and a golden-file dependency
+// on the link set. One event per line keeps goldens reviewable in a
+// diff.
+func WriteChromeTrace(w io.Writer, s *Session) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(line []byte) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.Write(line)
+	}
+	var buf []byte
+	for i, ln := range s.snapshot() {
+		tid := i + 1
+		buf = buf[:0]
+		buf = append(buf, `{"ph":"M","pid":1,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(tid), 10)
+		buf = append(buf, `,"name":"thread_name","args":{"name":`...)
+		buf = appendJSONString(buf, ln.name)
+		buf = append(buf, `}}`...)
+		emit(buf)
+		for _, r := range ln.tr.spans {
+			buf = buf[:0]
+			buf = append(buf, `{"ph":"X","pid":1,"tid":`...)
+			buf = strconv.AppendInt(buf, int64(tid), 10)
+			buf = append(buf, `,"ts":`...)
+			buf = strconv.AppendUint(buf, r.start, 10)
+			buf = append(buf, `,"dur":`...)
+			buf = strconv.AppendUint(buf, r.dur, 10)
+			buf = append(buf, `,"name":`...)
+			buf = appendJSONString(buf, nameString(r.name))
+			if r.arg != "" {
+				buf = append(buf, `,"args":{"arg":`...)
+				buf = appendJSONString(buf, r.arg)
+				buf = append(buf, '}')
+			}
+			buf = append(buf, '}')
+			emit(buf)
+		}
+	}
+	for _, c := range Counters(false) {
+		if c.Value == 0 {
+			continue
+		}
+		buf = buf[:0]
+		buf = append(buf, `{"ph":"C","pid":1,"tid":0,"ts":0,"name":`...)
+		buf = appendJSONString(buf, c.Name)
+		buf = append(buf, `,"args":{"value":`...)
+		buf = strconv.AppendUint(buf, c.Value, 10)
+		buf = append(buf, `}}`...)
+		emit(buf)
+	}
+	bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	return bw.Flush()
+}
+
+// appendJSONString appends s as a JSON string literal. Covers the
+// escapes our span names and cell keys can contain; any other control
+// byte gets a \u escape.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c >= 0x20:
+			buf = append(buf, c)
+		case c == '\n':
+			buf = append(buf, '\\', 'n')
+		case c == '\t':
+			buf = append(buf, '\\', 't')
+		default:
+			const hex = "0123456789abcdef"
+			buf = append(buf, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		}
+	}
+	return append(buf, '"')
+}

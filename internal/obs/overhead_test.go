@@ -1,0 +1,63 @@
+package obs
+
+import "testing"
+
+// The disabled path is the contract that lets every kernel and engine
+// call site keep its obs hook unconditionally: with no Session attached
+// the Trace pointer is nil, and Begin/Advance/End must cost a nil check
+// and nothing else — no allocation, no atomic, no branch miss fodder.
+// The allocation half is asserted exactly (0 allocs/op); the latency
+// half is a benchmark target (<2 ns/op for the Begin+Advance+End trio)
+// checked by eye in BENCH output rather than asserted, since wall-clock
+// bounds are machine-dependent and would flake CI.
+
+func TestDisabledPathAllocs(t *testing.T) {
+	var tr *Trace
+	nm := Name("overhead.probe")
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin(nm)
+		tr.Advance(1)
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("disabled span path allocates %v allocs/op, want 0", n)
+	}
+	var c *Counter
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		c.Max(2)
+	}); n != 0 {
+		t.Fatalf("nil counter path allocates %v allocs/op, want 0", n)
+	}
+	var s *Session
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = s.Lane("x").Begin(nm)
+	}); n != 0 {
+		t.Fatalf("nil session lane path allocates %v allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkDisabledSpan measures the full disabled-span trio. Target:
+// <2 ns/op (a nil check per call, inlined).
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Trace
+	nm := Name("overhead.bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(nm)
+		tr.Advance(1)
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledSpan is the comparison point: the enabled path may
+// allocate (amortized slice growth) but stays in the tens of ns.
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := NewTrace()
+	nm := Name("overhead.bench.on")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(nm)
+		tr.Advance(1)
+		sp.End()
+	}
+}

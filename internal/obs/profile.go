@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ProfileRow aggregates all spans sharing a name: how many ran, their
+// inclusive tick total, and the exclusive total (inclusive minus ticks
+// covered by child spans) — the flat self-profile the paper's gprof
+// runs produce for the encoders, applied to vcprof itself.
+type ProfileRow struct {
+	Name  string
+	Count int
+	Incl  uint64
+	Excl  uint64
+}
+
+// Profile aggregates every lane of the session into per-name rows
+// sorted by inclusive ticks (descending, name as tie-break), so the
+// output is deterministic for deterministic traces.
+func (s *Session) Profile() []ProfileRow {
+	acc := make(map[NameID]*ProfileRow)
+	var order []NameID
+	for _, ln := range s.snapshot() {
+		spans := ln.tr.spans
+		childSum := make([]uint64, len(spans))
+		for _, r := range spans {
+			if r.parent >= 0 {
+				childSum[r.parent] += r.dur
+			}
+		}
+		for i, r := range spans {
+			row := acc[r.name]
+			if row == nil {
+				row = &ProfileRow{Name: nameString(r.name)}
+				acc[r.name] = row
+				order = append(order, r.name)
+			}
+			row.Count++
+			row.Incl += r.dur
+			row.Excl += r.dur - childSum[i]
+		}
+	}
+	rows := make([]ProfileRow, 0, len(order))
+	for _, id := range order {
+		rows = append(rows, *acc[id])
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Incl != rows[j].Incl {
+			return rows[i].Incl > rows[j].Incl
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// RenderProfile returns the aligned top-N self-profile table. topN <= 0
+// means all rows.
+func RenderProfile(rows []ProfileRow, topN int) string {
+	var total uint64
+	for _, r := range rows {
+		total += r.Excl
+	}
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	w := len("span")
+	for _, r := range rows {
+		if len(r.Name) > w {
+			w = len(r.Name)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== obs: self-profile (top %d spans by inclusive ticks) ==\n", len(rows))
+	fmt.Fprintf(&b, "%-*s  %10s  %14s  %14s  %6s\n", w, "span", "count", "incl.ticks", "excl.ticks", "excl%")
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.Excl) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-*s  %10d  %14d  %14d  %6.2f\n", w, r.Name, r.Count, r.Incl, r.Excl, pct)
+	}
+	return b.String()
+}

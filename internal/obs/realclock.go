@@ -1,0 +1,26 @@
+package obs
+
+import "time"
+
+// RealClock is the one bridge between obs and host time, for cmd/
+// front-ends that want to narrate progress to a human alongside the
+// deterministic virtual-tick traces.
+//
+// Contract (DESIGN.md §7, enforced by vclint's detnow allowlist on this
+// file only): nothing under internal/ may feed RealClock readings into
+// a Trace, a Counter or any rendered table — those must stay virtual.
+// RealClock output is operator chrome, like harness.Report.Wall.
+type RealClock struct{ start time.Time }
+
+// StartRealClock begins a wall-clock measurement.
+func StartRealClock() *RealClock {
+	return &RealClock{start: time.Now()}
+}
+
+// ElapsedSeconds reports host seconds since the start.
+func (r *RealClock) ElapsedSeconds() float64 {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start).Seconds()
+}

@@ -1,0 +1,50 @@
+package obs
+
+import "sync"
+
+// Session groups the lanes (Chrome trace "threads") of one observed
+// run. A nil *Session is the disabled session: Lane returns a nil
+// *Trace, which disables every downstream span call, so enabling
+// observation is a single field on the caller's options.
+//
+// Lanes are created in call order, which must itself be deterministic
+// (the harness creates one lane per experiment, in registry order,
+// after each experiment's parallel section has completed). The mutex
+// only guards lane creation; each lane's Trace is single-goroutine.
+type Session struct {
+	mu    sync.Mutex
+	lanes []lane
+}
+
+type lane struct {
+	name string
+	tr   *Trace
+}
+
+// NewSession returns an enabled, empty session.
+func NewSession() *Session { return &Session{} }
+
+// Lane appends a new named lane and returns its tracer. The caller
+// must confine the returned Trace to one goroutine.
+func (s *Session) Lane(name string) *Trace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr := NewTrace()
+	s.lanes = append(s.lanes, lane{name: name, tr: tr})
+	return tr
+}
+
+// snapshot copies the lane list for export.
+func (s *Session) snapshot() []lane {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]lane, len(s.lanes))
+	copy(out, s.lanes)
+	return out
+}

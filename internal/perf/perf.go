@@ -58,6 +58,9 @@ type Counters struct {
 	Bytes       int
 	WallSeconds float64
 	WorkerInsts []uint64
+	// FrameStages carries the encode's per-frame stage breakdown for
+	// the obs trace (see encoders.Result.FrameStages).
+	FrameStages []trace.StageCounts
 }
 
 // ModeledMS is the modeled wall time of the measured encode in
@@ -125,7 +128,9 @@ func Stat(enc encoders.Encoder, clip *video.Clip, opts encoders.Options) (*Count
 		Bytes:        res.Bytes,
 		WallSeconds:  res.Wall.Seconds(),
 		WorkerInsts:  res.WorkerInsts,
+		FrameStages:  res.FrameStages,
 	}
+	hier.FlushObs()
 	if mon.Branches > 0 {
 		c.BranchMissPct = 100 * mon.MissRate()
 	}

@@ -32,6 +32,9 @@ type Ctx struct {
 
 	cur   FuncID
 	stack []FuncID
+
+	stage  Stage
+	stages StageCounts
 }
 
 // New returns an empty counting context.
@@ -173,6 +176,7 @@ func (c *Ctx) Leave() {
 
 func (c *Ctx) account(n uint64) {
 	c.total += n
+	c.stages[c.stage] += n
 	if c.prof != nil {
 		c.prof.ops(c.cur, n)
 	}
@@ -187,6 +191,7 @@ func (c *Ctx) Merge(o *Ctx) {
 	}
 	c.Mix.Add(&o.Mix)
 	c.total += o.total
+	c.stages.Add(&o.stages)
 	if c.prof != nil && o.prof != nil && c.prof != o.prof {
 		c.prof.Merge(o.prof)
 	}

@@ -1,0 +1,98 @@
+package trace
+
+// Stage labels the codec pipeline stage instructions are attributed to.
+// The five classic encoder stages mirror the paper's decomposition of
+// encode work (motion estimation, intra prediction, transform,
+// quantization, entropy coding); everything else — partition control,
+// deblocking, rate control — lands in StageOther. Kernel entry points
+// in internal/codec set the active stage around their bodies, so every
+// encoder family gets per-stage attribution without per-family hooks.
+type Stage uint8
+
+const (
+	StageOther Stage = iota
+	StageMotion
+	StageIntra
+	StageTransform
+	StageQuant
+	StageEntropy
+	// NumStages sizes per-stage accumulator arrays.
+	NumStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageOther:
+		return "other"
+	case StageMotion:
+		return "motion"
+	case StageIntra:
+		return "intra"
+	case StageTransform:
+		return "transform"
+	case StageQuant:
+		return "quant"
+	case StageEntropy:
+		return "entropy"
+	}
+	return "invalid"
+}
+
+// StageCounts is the per-stage dynamic instruction breakdown of one
+// context, frame or run. Indexed by Stage.
+type StageCounts [NumStages]uint64
+
+// Total sums all stages.
+func (sc *StageCounts) Total() uint64 {
+	var t uint64
+	for _, n := range sc {
+		t += n
+	}
+	return t
+}
+
+// Add folds another breakdown into sc.
+func (sc *StageCounts) Add(o *StageCounts) {
+	for i, n := range o {
+		sc[i] += n
+	}
+}
+
+// Sub returns sc - o element-wise (the delta between two snapshots of
+// the same monotone accumulator).
+func (sc StageCounts) Sub(o StageCounts) StageCounts {
+	var d StageCounts
+	for i := range d {
+		d[i] = sc[i] - o[i]
+	}
+	return d
+}
+
+// BeginStage switches the context's active attribution stage and
+// returns the previous one for restoring. Stage switches nest: the
+// innermost active stage wins (flat self-time attribution, the way a
+// sampling profiler would see it).
+func (c *Ctx) BeginStage(s Stage) Stage {
+	if c == nil {
+		return StageOther
+	}
+	prev := c.stage
+	c.stage = s
+	return prev
+}
+
+// EndStage restores the attribution stage saved by BeginStage.
+func (c *Ctx) EndStage(prev Stage) {
+	if c == nil {
+		return
+	}
+	c.stage = prev
+}
+
+// StageCounts snapshots the per-stage instruction breakdown.
+func (c *Ctx) StageCounts() StageCounts {
+	if c == nil {
+		return StageCounts{}
+	}
+	return c.stages
+}

@@ -1,0 +1,35 @@
+package cache
+
+import "vcprof/internal/obs"
+
+// Process-wide obs counters for simulated cache events. They aggregate
+// across every measured hierarchy in the process; totals are
+// deterministic because exactly the memoized cell computations (not
+// cache hits on them) contribute, regardless of worker count.
+var (
+	obsL1Accesses  = obs.NewCounter("uarch.cache.l1d.accesses")
+	obsL1Misses    = obs.NewCounter("uarch.cache.l1d.misses")
+	obsL2Accesses  = obs.NewCounter("uarch.cache.l2.accesses")
+	obsL2Misses    = obs.NewCounter("uarch.cache.l2.misses")
+	obsLLCAccesses = obs.NewCounter("uarch.cache.llc.accesses")
+	obsLLCMisses   = obs.NewCounter("uarch.cache.llc.misses")
+	obsWritebacks  = obs.NewCounter("uarch.cache.writebacks")
+)
+
+// FlushObs adds the hierarchy's accumulated statistics to the
+// process-wide obs counters. Call exactly once per measurement, after
+// the simulated run completes (perf.Stat, pipeline.Sim.Run); calling
+// again without a Reset in between would double-count.
+func (h *Hierarchy) FlushObs() {
+	if h == nil {
+		return
+	}
+	l1, l2, llc := h.L1.Stats(), h.L2.Stats(), h.LLC.Stats()
+	obsL1Accesses.Add(l1.Accesses)
+	obsL1Misses.Add(l1.Misses)
+	obsL2Accesses.Add(l2.Accesses)
+	obsL2Misses.Add(l2.Misses)
+	obsLLCAccesses.Add(llc.Accesses)
+	obsLLCMisses.Add(llc.Misses)
+	obsWritebacks.Add(l1.Writebacks + l2.Writebacks + llc.Writebacks)
+}

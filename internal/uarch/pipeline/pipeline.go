@@ -369,5 +369,6 @@ func (s *Sim) Run(ops []trace.MicroOp) (*Result, error) {
 		res.FrontendSlots = rem
 	}
 	res.BackendSlots = rem - res.FrontendSlots
+	s.flushObs(res)
 	return res, nil
 }
