@@ -9,7 +9,7 @@
 GO ?= go
 RACE_TIMEOUT ?= 60m
 FUZZTIME ?= 10s
-BENCH_OUT ?= BENCH_pr3
+BENCH_OUT ?= BENCH_pr4
 
 # Every stdlib vet pass, spelled out (from `go tool vet help`) so a
 # toolchain that grows a new pass fails loudly here instead of silently
@@ -21,9 +21,9 @@ VET_PASSES = -appends -asmdecl -assign -atomic -bools -buildtag \
 	-stringintconv -structtag -testinggoroutine -tests -timeformat \
 	-unmarshal -unreachable -unsafeptr -unusedresult
 
-.PHONY: ci fmt vet build lint test race golden bench bench-short fuzz-smoke
+.PHONY: ci fmt vet build lint test race golden bench bench-short fuzz-smoke serve-smoke
 
-ci: fmt vet build lint test fuzz-smoke bench-short race
+ci: fmt vet build lint test fuzz-smoke bench-short serve-smoke race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -49,7 +49,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/harness ./internal/encoders
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/harness ./internal/encoders ./internal/service
 
 # Regenerate the golden regression tables after an intentional change,
 # then review the diff under internal/harness/testdata/golden/.
@@ -67,6 +67,13 @@ bench:
 # the obs allocation guard) without paying full measurement time.
 bench-short:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ . ./internal/obs
+
+# End-to-end smoke of the serving layer: boots vcprofd on a random
+# port, drives it with vcload twice (200 jobs, c=16), and requires zero
+# failures, identical digests across passes, a >=90% store hit rate on
+# the warm pass, and a clean SIGTERM drain. See scripts/serve_smoke.sh.
+serve-smoke:
+	BENCH_OUT=$(BENCH_OUT) GO="$(GO)" sh scripts/serve_smoke.sh
 
 # Ten-second smoke of each fuzz target over its committed seed corpus.
 # Finding a crasher here fails CI; reproduce with the file Go writes

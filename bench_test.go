@@ -245,7 +245,7 @@ func BenchmarkEncodeSVTAV1(b *testing.B) {
 	enc := encoders.MustNew(encoders.SVTAV1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := enc.Encode(clip, encoders.Options{CRF: 40, Preset: 6}); err != nil {
+		if _, err := enc.Encode(context.Background(), clip, encoders.Options{CRF: 40, Preset: 6}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -256,7 +256,7 @@ func BenchmarkEncodeX264(b *testing.B) {
 	enc := encoders.MustNew(encoders.X264)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := enc.Encode(clip, encoders.Options{CRF: 30, Preset: 4}); err != nil {
+		if _, err := enc.Encode(context.Background(), clip, encoders.Options{CRF: 30, Preset: 4}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -465,7 +465,7 @@ func BenchmarkCellStatEndToEnd(b *testing.B) {
 	enc := encoders.MustNew(encoders.SVTAV1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := perf.Stat(enc, clip, encoders.Options{CRF: 40, Preset: 4, Threads: 1}); err != nil {
+		if _, err := perf.Stat(context.Background(), enc, clip, encoders.Options{CRF: 40, Preset: 4, Threads: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,325 @@
+// Command vcload is a deterministic closed-loop load generator for
+// vcprofd. A seeded PRNG draws a fixed job mix over the clip catalog ×
+// encoder families × a CRF spread; -c workers each drive one job at a
+// time through the full lifecycle (submit, poll, fetch), so offered
+// load is closed-loop, not open-loop. Every pass with the same seed and
+// count generates byte-identical specs, and the tool folds every result
+// body into one order-independent digest — two passes against any
+// server (fresh, warm, restarted) must print the same digest or the
+// serving layer broke determinism.
+//
+// Usage:
+//
+//	vcload -addr 127.0.0.1:8791 -n 200 -c 16
+//	vcload -n 500 -c 32 -seed 7 -bench
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vcprof/internal/encoders"
+	"vcprof/internal/service"
+	"vcprof/internal/video"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vcload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8791", "vcprofd address (host:port)")
+		n       = flag.Int("n", 200, "total jobs to complete")
+		conc    = flag.Int("c", 16, "closed-loop concurrency (in-flight jobs)")
+		seed    = flag.Uint64("seed", 1, "job-mix seed")
+		frames  = flag.Int("frames", 2, "frames per encode job")
+		div     = flag.Int("div", 32, "resolution divisor per encode job")
+		expFrac = flag.Int("exp-every", 0, "make every k-th job a quick experiment (0 = encodes only)")
+		bench   = flag.Bool("bench", false, "print benchjson-compatible Benchmark lines")
+	)
+	flag.Parse()
+	if *n < 1 || *conc < 1 {
+		return fmt.Errorf("-n and -c must be positive")
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	specs := buildMix(*seed, *n, *frames, *div, *expFrac)
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	var (
+		next      atomic.Int64
+		failures  atomic.Int64
+		cached    atomic.Int64
+		retried   atomic.Int64
+		mu        sync.Mutex
+		latencies = make([]time.Duration, *n)
+		digests   = make([][32]byte, *n)
+		firstErr  error
+	)
+	fail := func(err error) {
+		failures.Add(1)
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *n {
+					return
+				}
+				t0 := time.Now()
+				body, wasCached, retries, err := driveJob(client, base, &specs[i])
+				if err != nil {
+					fail(fmt.Errorf("job %d: %w", i, err))
+					continue
+				}
+				latencies[i] = time.Since(t0)
+				digests[i] = sha256.Sum256(body)
+				if wasCached {
+					cached.Add(1)
+				}
+				retried.Add(int64(retries))
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	if f := failures.Load(); f > 0 {
+		return fmt.Errorf("%d/%d jobs failed; first: %w", f, *n, firstErr)
+	}
+
+	// The digest folds per-job result digests in job-index order — a
+	// pure function of (seed, n, frames, div) and the service's result
+	// bytes, independent of worker interleaving.
+	h := sha256.New()
+	for i := range digests {
+		h.Write(digests[i][:])
+	}
+	done := *n
+	fmt.Printf("vcload: %d jobs ok in %.2fs (%.1f jobs/s, c=%d)\n",
+		done, wall.Seconds(), float64(done)/wall.Seconds(), *conc)
+	fmt.Printf("cached-at-submit %d/%d (%.1f%%), %d retries after 429\n",
+		cached.Load(), done, 100*float64(cached.Load())/float64(done), retried.Load())
+	fmt.Print(renderHistogram(latencies))
+	fmt.Printf("digest %s\n", hex.EncodeToString(h.Sum(nil)))
+
+	if *bench {
+		perJob := wall.Nanoseconds() / int64(done)
+		sorted := append([]time.Duration(nil), latencies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		p := func(q float64) int64 { return sorted[int(q*float64(len(sorted)-1))].Nanoseconds() }
+		fmt.Printf("BenchmarkServeJob %d %d ns/op\n", done, perJob)
+		fmt.Printf("BenchmarkServeLatencyP50 %d %d ns/op\n", done, p(0.50))
+		fmt.Printf("BenchmarkServeLatencyP99 %d %d ns/op\n", done, p(0.99))
+	}
+	return nil
+}
+
+// buildMix derives the job list from the seed: a pure function, so
+// every pass (and every process) with the same parameters offers the
+// same work in the same order.
+func buildMix(seed uint64, n, frames, div, expEvery int) []service.JobSpec {
+	clips := video.Vbench()
+	fams := encoders.Families()
+	exps := []string{"fig1", "fig4"}
+	rng := splitmix{state: seed}
+	specs := make([]service.JobSpec, n)
+	for i := range specs {
+		if expEvery > 0 && (i+1)%expEvery == 0 {
+			specs[i] = service.JobSpec{
+				Kind:       service.KindExperiment,
+				Experiment: exps[int(rng.next()%uint64(len(exps)))],
+				Quick:      true,
+			}
+		} else {
+			fam := fams[int(rng.next()%uint64(len(fams)))]
+			clip := clips[int(rng.next()%uint64(len(clips)))].Name
+			enc := encoders.MustNew(fam)
+			lo, hi := enc.CRFRange()
+			// Four CRF operating points spread across the family range.
+			crf := lo + int(rng.next()%4)*(hi-lo)/4
+			plo, phi, _ := enc.PresetRange()
+			specs[i] = service.JobSpec{
+				Kind:     service.KindEncode,
+				Family:   string(fam),
+				Clip:     clip,
+				Frames:   frames,
+				ScaleDiv: div,
+				CRF:      crf,
+				Preset:   (plo + phi) / 2,
+				Threads:  1,
+				Priority: int(rng.next() % 3),
+			}
+		}
+		specs[i].Normalize()
+	}
+	return specs
+}
+
+// splitmix is a tiny deterministic PRNG (splitmix64), used instead of
+// math/rand so the mix is stable across Go releases and the tool stays
+// inside the repo's no-ambient-randomness rule.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// driveJob pushes one job through submit → poll → fetch and returns the
+// result body.
+func driveJob(client *http.Client, base string, spec *service.JobSpec) (body []byte, cached bool, retries429 int, err error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	id := spec.Key()
+	for {
+		st, code, err := postJob(client, base, payload)
+		if err != nil {
+			return nil, false, retries429, err
+		}
+		switch code {
+		case http.StatusOK:
+			cached = true
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			retries429++
+			time.Sleep(25 * time.Millisecond)
+			continue
+		default:
+			return nil, false, retries429, fmt.Errorf("submit: HTTP %d: %s", code, st.Error)
+		}
+		if st.ID != id {
+			return nil, false, retries429, fmt.Errorf("server key %s != local key %s", st.ID, id)
+		}
+		break
+	}
+	delay := 1 * time.Millisecond
+	for {
+		st, code, err := getJSON(client, base+"/v1/jobs/"+id)
+		if err != nil {
+			return nil, false, retries429, err
+		}
+		if code != http.StatusOK {
+			return nil, false, retries429, fmt.Errorf("status: HTTP %d: %s", code, st.Error)
+		}
+		if st.Status == "failed" {
+			return nil, false, retries429, fmt.Errorf("job failed: %s", st.Error)
+		}
+		if st.Status == "done" {
+			break
+		}
+		time.Sleep(delay)
+		if delay < 50*time.Millisecond {
+			delay *= 2
+		}
+	}
+	resp, err := client.Get(base + "/v1/results/" + id)
+	if err != nil {
+		return nil, false, retries429, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, retries429, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, retries429, fmt.Errorf("result: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return body, cached, retries429, nil
+}
+
+// status mirrors the server's jobStatus wire form.
+type status struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error"`
+}
+
+func postJob(client *http.Client, base string, payload []byte) (status, int, error) {
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return status{}, 0, err
+	}
+	defer resp.Body.Close()
+	var st status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil && resp.StatusCode < 500 {
+		return status{}, resp.StatusCode, fmt.Errorf("bad status body: %w", err)
+	}
+	return st, resp.StatusCode, nil
+}
+
+func getJSON(client *http.Client, url string) (status, int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return status{}, 0, err
+	}
+	defer resp.Body.Close()
+	var st status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return status{}, resp.StatusCode, fmt.Errorf("bad status body: %w", err)
+	}
+	return st, resp.StatusCode, nil
+}
+
+// renderHistogram buckets latencies by powers of two of a millisecond.
+func renderHistogram(lats []time.Duration) string {
+	bounds := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 16 * time.Millisecond, 32 * time.Millisecond,
+		64 * time.Millisecond, 128 * time.Millisecond, 256 * time.Millisecond,
+		512 * time.Millisecond, time.Second,
+	}
+	counts := make([]int, len(bounds)+1)
+	for _, l := range lats {
+		i := sort.Search(len(bounds), func(i int) bool { return l <= bounds[i] })
+		counts[i]++
+	}
+	var b strings.Builder
+	b.WriteString("latency histogram:\n")
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		label := "   >1s"
+		if i < len(bounds) {
+			label = fmt.Sprintf("%6s", "≤"+bounds[i].String())
+		}
+		fmt.Fprintf(&b, "  %s  %5d  %s\n", label, c, strings.Repeat("#", 1+c*40/len(lats)))
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+// Command vcprofd serves the measurement engine over HTTP: clients POST
+// encode or experiment job specs, poll their status, and fetch results
+// from a content-addressed disk store that survives restarts. Identical
+// jobs — concurrent or repeated — are computed once.
+//
+// Usage:
+//
+//	vcprofd -store /tmp/vcprof-store            # listen on :8791
+//	vcprofd -addr 127.0.0.1:0 -j 8 -queue 256   # random port, bigger pool
+//	vcprofd -trace                              # enable /debug/trace spans
+//
+// The daemon prints "listening on <host:port>" once the socket is
+// bound (scripts parse this to discover a random port), serves until
+// SIGINT/SIGTERM, then drains: new submissions get 503 while queued and
+// in-flight jobs finish under -drain, and the store index is flushed so
+// the next start reuses the warm cache.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vcprof/internal/obs"
+	"vcprof/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vcprofd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8791", "listen address (host:port; port 0 picks a free one)")
+		storeDir = flag.String("store", "vcprofd-store", "result store directory")
+		storeMax = flag.Int64("store-max", 0, "store size budget in bytes (0 = 1 GiB)")
+		workers  = flag.Int("j", 4, "worker pool size")
+		queueCap = flag.Int("queue", 64, "queued-job bound before submissions get 429")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "default per-job execution budget")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		traceOn  = flag.Bool("trace", false, "record worker spans; export at /debug/trace")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var sess *obs.Session
+	if *traceOn {
+		sess = obs.NewSession()
+	}
+	// The server's base context is NOT the signal context: jobs must
+	// survive the start of a drain and only die when the drain budget
+	// runs out (Shutdown cancels the base context itself).
+	srv, err := service.NewServer(context.Background(), service.Config{
+		StoreDir:       *storeDir,
+		StoreMaxBytes:  *storeMax,
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		DefaultTimeout: *timeout,
+		DrainTimeout:   *drain,
+		Obs:            sess,
+	})
+	if err != nil {
+		return err
+	}
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening on %s\n", ln.Addr())
+	st := srv.Store().Stats()
+	fmt.Fprintf(os.Stderr, "store %s: %d objects, %d bytes\n", *storeDir, st.Objects, st.Bytes)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills hard
+
+	fmt.Fprintln(os.Stderr, "draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the job pipeline first — the HTTP surface stays up so
+	// clients see 503 on submit and can still poll and fetch results of
+	// jobs completed during the drain.
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "vcprofd: drain:", err)
+	}
+	httpCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(httpCtx); err != nil {
+		httpSrv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "bye")
+	return nil
+}

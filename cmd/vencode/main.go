@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"vcprof/internal/encoders"
 	"vcprof/internal/obs"
@@ -55,6 +57,9 @@ func run() error {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *list {
 		for _, m := range video.Vbench() {
 			fmt.Println(m.String())
@@ -91,7 +96,7 @@ func run() error {
 		TargetKbps:    *kbps,
 		SceneCut:      *scenecut,
 		NewWorkerCtx:  func(int) *trace.Ctx { return trace.New() }}
-	res, err := enc.Encode(clip, opts)
+	res, err := enc.Encode(ctx, clip, opts)
 	if err != nil {
 		return err
 	}
@@ -150,7 +155,7 @@ func run() error {
 	}
 
 	if *profile {
-		prof, err := perf.Profile(enc, clip, encoders.Options{CRF: *crf, Preset: *preset})
+		prof, err := perf.Profile(ctx, enc, clip, encoders.Options{CRF: *crf, Preset: *preset})
 		if err != nil {
 			return err
 		}
@@ -159,7 +164,7 @@ func run() error {
 	}
 
 	if *traceOut != "" || *brOut != "" {
-		rec, total, err := perf.RecordWindow(enc, clip, encoders.Options{CRF: *crf, Preset: *preset}, 0.5, *winOps)
+		rec, total, err := perf.RecordWindow(ctx, enc, clip, encoders.Options{CRF: *crf, Preset: *preset}, 0.5, *winOps)
 		if err != nil {
 			return err
 		}

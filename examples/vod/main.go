@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 	enc := encoders.MustNew(encoders.SVTAV1)
 	fmt.Printf("%-12s %10s %10s %8s %8s %s\n", "target", "achieved", "psnr", "ssim", "qindex", "keyframes")
 	for _, target := range []float64{200, 500, 1200} {
-		res, err := enc.Encode(clip, encoders.Options{
+		res, err := enc.Encode(context.Background(), clip, encoders.Options{
 			TargetKbps:    target,
 			Preset:        5,
 			SceneCut:      true,

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewHTTPCtx builds the httpctx analyzer: inside handler-shaped
+// functions — anything with the (http.ResponseWriter, *http.Request)
+// signature, declared or literal — constructing a fresh root context
+// with context.Background() or context.TODO() is banned. A handler that
+// reaches the harness through a root context severs the request from
+// cancellation: client disconnects, per-request deadlines and the
+// daemon's drain would no longer abort the measurement. Handlers must
+// derive from r.Context() (or from a server-lifetime context owned by
+// whoever coordinates the drain, passed in as a field — never minted
+// inline in the handler).
+func NewHTTPCtx(paths []string) *Analyzer {
+	scope := pathScope{name: "httpctx", paths: paths}
+	az := &Analyzer{
+		Name: "httpctx",
+		Doc:  "require HTTP handlers to propagate r.Context() instead of minting root contexts",
+	}
+	az.Run = func(pass *Pass) {
+		if !scope.in(pass.Pkg.Path) {
+			return
+		}
+		info := pass.TypesInfo()
+		for _, f := range pass.Files() {
+			// reported dedupes sites seen through nested handler-shaped
+			// literals inside handler-shaped functions.
+			reported := make(map[ast.Node]bool)
+			ast.Inspect(f, func(n ast.Node) bool {
+				var body *ast.Node
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil && isHandlerSig(funcDeclSig(info, fn)) {
+						b := ast.Node(fn.Body)
+						body = &b
+					}
+				case *ast.FuncLit:
+					if sig, ok := info.Types[fn].Type.(*types.Signature); ok && isHandlerSig(sig) {
+						b := ast.Node(fn.Body)
+						body = &b
+					}
+				}
+				if body == nil {
+					return true
+				}
+				ast.Inspect(*body, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok || reported[call] {
+						return true
+					}
+					fn := calleeFunc(info, call)
+					if pkgFuncIn(fn, "context", "Background", "TODO") {
+						reported[call] = true
+						pass.Reportf(call.Pos(),
+							"context.%s inside an HTTP handler severs request cancellation; derive from r.Context() so disconnects and the server drain reach the harness",
+							fn.Name())
+					}
+					return true
+				})
+				return true
+			})
+		}
+	}
+	return az
+}
+
+// funcDeclSig resolves a declaration's signature (nil if unchecked).
+func funcDeclSig(info *types.Info, fd *ast.FuncDecl) *types.Signature {
+	obj, _ := info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return nil
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	return sig
+}
+
+// isHandlerSig reports the (http.ResponseWriter, *http.Request) shape.
+func isHandlerSig(sig *types.Signature) bool {
+	if sig == nil || sig.Params().Len() != 2 {
+		return false
+	}
+	return isHTTPNamed(sig.Params().At(0).Type(), "ResponseWriter") &&
+		isHTTPPtr(sig.Params().At(1).Type(), "Request")
+}
+
+func isHTTPNamed(t types.Type, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == name
+}
+
+func isHTTPPtr(t types.Type, name string) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && isHTTPNamed(p.Elem(), name)
+}

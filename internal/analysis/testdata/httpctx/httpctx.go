@@ -1,0 +1,63 @@
+// Package httpctx is the fixture for the httpctx analyzer: handlers
+// minting root contexts are findings; handlers deriving from
+// r.Context() — and root contexts outside handler-shaped functions —
+// are the negatives.
+package httpctx
+
+import (
+	"context"
+	"net/http"
+)
+
+func sink(context.Context) {}
+
+// badBackground mints a root context in a handler, losing the request's
+// cancellation.
+func badBackground(w http.ResponseWriter, r *http.Request) {
+	sink(context.Background()) // want `httpctx: context.Background inside an HTTP handler`
+	_, _ = w, r
+}
+
+// badTODO is the same defect spelled TODO.
+func badTODO(w http.ResponseWriter, r *http.Request) {
+	ctx := context.TODO() // want `httpctx: context.TODO inside an HTTP handler`
+	sink(ctx)
+	_, _ = w, r
+}
+
+// badNested hides the root context inside a closure; it still runs on
+// behalf of the request.
+func badNested(w http.ResponseWriter, r *http.Request) {
+	go func() {
+		sink(context.Background()) // want `httpctx: context.Background inside an HTTP handler`
+	}()
+	_, _ = w, r
+}
+
+// badLiteral is a handler-shaped func literal, the mux-registration
+// idiom.
+var badLiteral = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	sink(context.Background()) // want `httpctx: context.Background inside an HTTP handler`
+	_, _ = w, r
+})
+
+// goodPropagates derives everything from the request.
+func goodPropagates(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	sink(ctx)
+	_ = w
+}
+
+// goodNotAHandler: root contexts are fine outside handler signatures
+// (main functions, tests, servers wiring their base context).
+func goodNotAHandler(ctx context.Context) {
+	sink(context.Background())
+	_ = ctx
+}
+
+// goodWrongOrder is not handler-shaped; the analyzer must not match it.
+func goodWrongOrder(r *http.Request, w http.ResponseWriter) {
+	sink(context.Background())
+	_, _ = w, r
+}

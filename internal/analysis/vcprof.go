@@ -21,12 +21,17 @@ import "fmt"
 //     measurement stack.
 //   - lockheld: the engine's worker pool hits the cell/clip caches and
 //     the experiment registry concurrently, so their mutex discipline
-//     is checked in harness and video.
+//     is checked in harness and video; the service daemon's queue, job
+//     table and result store are in scope for the same reason.
 //   - hotalloc: the codec kernels and the per-op simulator loops are
 //     the measured hot paths; allocations there distort the counts the
 //     experiments report.
 //   - detenv: nothing under internal/ may read host environment state;
 //     cmd/ front-ends pass such values down as explicit configuration.
+//   - httpctx: the service daemon's HTTP handlers must derive contexts
+//     from r.Context(); a context.Background()/TODO() minted inside a
+//     handler severs client disconnects, per-job deadlines and the
+//     graceful drain from the harness work they should cancel.
 //
 // Fixture packages under internal/analysis/testdata/<name> opt into the
 // matching analyzer's scope automatically (see pathScope), so the CLI
@@ -45,6 +50,7 @@ func VCProfAnalyzers() []*Analyzer {
 		NewLockHeld([]string{
 			"vcprof/internal/harness",
 			"vcprof/internal/video",
+			"vcprof/internal/service",
 		}),
 		NewHotAlloc([]string{
 			"vcprof/internal/codec/transform",
@@ -55,6 +61,10 @@ func VCProfAnalyzers() []*Analyzer {
 			"vcprof/internal/uarch/pipeline",
 		}),
 		NewDetEnv([]string{"vcprof/internal"}),
+		NewHTTPCtx([]string{
+			"vcprof/internal/service",
+			"vcprof/cmd",
+		}),
 	}
 }
 

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vcprof/internal/cbp"
@@ -97,7 +98,7 @@ func (l *Lab) Encode(fam Family, clipName string, crf, preset, threads int) (*en
 	if err != nil {
 		return nil, err
 	}
-	return enc.Encode(clip, encoders.Options{
+	return enc.Encode(context.Background(), clip, encoders.Options{
 		CRF: crf, Preset: preset, Threads: threads,
 		NewWorkerCtx: func(int) *trace.Ctx { return trace.New() },
 	})
@@ -117,7 +118,7 @@ func (l *Lab) EncodeWith(fam Family, clipName string, opts encoders.Options) (*e
 	if opts.NewWorkerCtx == nil {
 		opts.NewWorkerCtx = func(int) *trace.Ctx { return trace.New() }
 	}
-	return enc.Encode(clip, opts)
+	return enc.Encode(context.Background(), clip, opts)
 }
 
 // Decode decodes a bitstream container produced by an encode with
@@ -138,7 +139,7 @@ func (l *Lab) Characterize(fam Family, clipName string, crf, preset int) (*perf.
 	if err != nil {
 		return nil, err
 	}
-	return perf.Stat(enc, clip, encoders.Options{CRF: crf, Preset: preset})
+	return perf.Stat(context.Background(), enc, clip, encoders.Options{CRF: crf, Preset: preset})
 }
 
 // Profile runs the gprof substitute and returns the flat profile.
@@ -151,7 +152,7 @@ func (l *Lab) Profile(fam Family, clipName string, crf, preset int) (*trace.Prof
 	if err != nil {
 		return nil, err
 	}
-	return perf.Profile(enc, clip, encoders.Options{CRF: crf, Preset: preset})
+	return perf.Profile(context.Background(), enc, clip, encoders.Options{CRF: crf, Preset: preset})
 }
 
 // RecordWindow records a micro-op window (the Pin substitute) from
@@ -165,7 +166,7 @@ func (l *Lab) RecordWindow(fam Family, clipName string, crf, preset int) (*trace
 	if err != nil {
 		return nil, err
 	}
-	rec, _, err := perf.RecordWindow(enc, clip, encoders.Options{CRF: crf, Preset: preset}, 0.5, l.scale.WindowOps)
+	rec, _, err := perf.RecordWindow(context.Background(), enc, clip, encoders.Options{CRF: crf, Preset: preset}, 0.5, l.scale.WindowOps)
 	return rec, err
 }
 
@@ -263,7 +264,7 @@ func (l *Lab) ThreadSweep(fam Family, clipName string, crf, preset int) ([]Threa
 	if err != nil {
 		return nil, err
 	}
-	sched, _, err := encoders.ProfileSchedule(enc, clip, encoders.Options{CRF: crf, Preset: preset})
+	sched, _, err := encoders.ProfileSchedule(context.Background(), enc, clip, encoders.Options{CRF: crf, Preset: preset})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package encoders
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -62,7 +63,7 @@ func conformanceEncode(t *testing.T, cp conformancePoint) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := MustNew(cp.Family).Encode(clip, Options{
+	res, err := MustNew(cp.Family).Encode(context.Background(), clip, Options{
 		CRF: cp.CRF, Preset: cp.Preset, TargetKbps: cp.Kbps,
 		KeyInterval: cp.KeyInt, SceneCut: cp.Scene, KeepBitstream: true,
 	})

@@ -1,6 +1,7 @@
 package encoders
 
 import (
+	"context"
 	"testing"
 
 	"vcprof/internal/video"
@@ -45,7 +46,7 @@ func TestDecodeRoundTripAllFamilies(t *testing.T) {
 		t.Run(string(fam), func(t *testing.T) {
 			enc := MustNew(fam)
 			_, crfHi := enc.CRFRange()
-			res, err := enc.Encode(clip, Options{CRF: crfHi / 2, Preset: midPresetFor(enc), KeepBitstream: true})
+			res, err := enc.Encode(context.Background(), clip, Options{CRF: crfHi / 2, Preset: midPresetFor(enc), KeepBitstream: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -77,7 +78,7 @@ func TestDecodeRoundTripOperatingPoints(t *testing.T) {
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			res, err := enc.Encode(clip, tc.opts)
+			res, err := enc.Encode(context.Background(), clip, tc.opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -98,7 +99,7 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 		t.Error("accepted bad magic")
 	}
 	clip := testClip(t, "desktop", 2, 16)
-	res, err := MustNew(X264).Encode(clip, Options{CRF: 30, Preset: 4, KeepBitstream: true})
+	res, err := MustNew(X264).Encode(context.Background(), clip, Options{CRF: 30, Preset: 4, KeepBitstream: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 
 func TestBitstreamOmittedByDefault(t *testing.T) {
 	clip := testClip(t, "desktop", 2, 16)
-	res, err := MustNew(X264).Encode(clip, Options{CRF: 30, Preset: 4})
+	res, err := MustNew(X264).Encode(context.Background(), clip, Options{CRF: 30, Preset: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestBitstreamSizeMatchesAccounting(t *testing.T) {
 	// The container must be close to the accounted frame bytes (headers
 	// are counted per frame; the sequence header adds a few bytes).
 	clip := testClip(t, "game2", 3, 16)
-	res, err := MustNew(SVTAV1).Encode(clip, Options{CRF: 40, Preset: 6, KeepBitstream: true})
+	res, err := MustNew(SVTAV1).Encode(context.Background(), clip, Options{CRF: 40, Preset: 6, KeepBitstream: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package encoders
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -11,9 +12,14 @@ import (
 // Encode runs the model on the clip. It is safe for concurrent use with
 // distinct clips and options. The bitstream size, reconstruction,
 // quality metrics and (if instrumented) instruction-level counters are
-// returned in the Result.
-func (m *model) Encode(clip *video.Clip, opts Options) (*Result, error) {
+// returned in the Result. Cancelling ctx aborts the encode at the next
+// task boundary and returns ctx's error, so a killed job stops burning
+// its worker instead of running to completion.
+func (m *model) Encode(ctx context.Context, clip *video.Clip, opts Options) (*Result, error) {
 	if err := m.validate(clip, opts); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if opts.Threads < 1 {
@@ -33,7 +39,7 @@ func (m *model) Encode(clip *video.Clip, opts Options) (*Result, error) {
 	}
 	//lint:ignore detnow Result.Wall is host wall-clock by contract (live-run reporting); tables use modeled cycles (harness.cycleMS), never this value
 	start := time.Now()
-	if err := runLive(g, ws); err != nil {
+	if err := runLive(ctx, g, ws); err != nil {
 		return nil, err
 	}
 	wall := time.Since(start) //lint:ignore detnow same contract as above: informational Result.Wall only
@@ -96,7 +102,7 @@ func (m *model) assemble(se *streamEncoder, ws *workerSet, clip *video.Clip, wal
 // the thread-scalability substitute: Schedule.Speedup(n) predicts the
 // paper's wall-clock speedup on an n-core machine from the measured
 // work distribution.
-func ProfileSchedule(enc Encoder, clip *video.Clip, opts Options) (*Schedule, *Result, error) {
+func ProfileSchedule(ctx context.Context, enc Encoder, clip *video.Clip, opts Options) (*Schedule, *Result, error) {
 	m, ok := enc.(*model)
 	if !ok {
 		return nil, nil, fmt.Errorf("encoders: ProfileSchedule requires a model encoder")
@@ -117,7 +123,7 @@ func ProfileSchedule(enc Encoder, clip *video.Clip, opts Options) (*Schedule, *R
 	if err != nil {
 		return nil, nil, err
 	}
-	costs, err := runProfiled(g, ws)
+	costs, err := runProfiled(ctx, g, ws)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -12,6 +12,7 @@
 package encoders
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -108,8 +109,11 @@ type Encoder interface {
 	// PresetRange returns the inclusive preset range and whether larger
 	// presets mean slower encodes (x264/x265 direction).
 	PresetRange() (lo, hi int, reversed bool)
-	// Encode encodes the clip.
-	Encode(clip *video.Clip, opts Options) (*Result, error)
+	// Encode encodes the clip. Cancelling ctx aborts the encode at the
+	// next task boundary (between superblock rows, segments, tiles or
+	// frames, depending on the family's threading architecture) and
+	// returns the context's error.
+	Encode(ctx context.Context, clip *video.Clip, opts Options) (*Result, error)
 }
 
 // New returns the encoder model for a family.

@@ -1,6 +1,7 @@
 package encoders
 
 import (
+	"context"
 	"testing"
 
 	"vcprof/internal/codec"
@@ -53,23 +54,23 @@ func TestRangesMatchPaperSection33(t *testing.T) {
 func TestEncodeValidation(t *testing.T) {
 	clip := testClip(t, "desktop", 2, 16)
 	enc := MustNew(SVTAV1)
-	if _, err := enc.Encode(nil, Options{}); err == nil {
+	if _, err := enc.Encode(context.Background(), nil, Options{}); err == nil {
 		t.Error("accepted nil clip")
 	}
-	if _, err := enc.Encode(clip, Options{CRF: 99}); err == nil {
+	if _, err := enc.Encode(context.Background(), clip, Options{CRF: 99}); err == nil {
 		t.Error("accepted out-of-range CRF")
 	}
-	if _, err := enc.Encode(clip, Options{Preset: 99}); err == nil {
+	if _, err := enc.Encode(context.Background(), clip, Options{Preset: 99}); err == nil {
 		t.Error("accepted out-of-range preset")
 	}
-	if _, err := enc.Encode(clip, Options{Threads: -1}); err == nil {
+	if _, err := enc.Encode(context.Background(), clip, Options{Threads: -1}); err == nil {
 		t.Error("accepted negative threads")
 	}
-	if _, err := enc.Encode(clip, Options{KeyInterval: -2}); err == nil {
+	if _, err := enc.Encode(context.Background(), clip, Options{KeyInterval: -2}); err == nil {
 		t.Error("accepted negative key interval")
 	}
 	// x264's CRF tops out at 51.
-	if _, err := MustNew(X264).Encode(clip, Options{CRF: 60}); err == nil {
+	if _, err := MustNew(X264).Encode(context.Background(), clip, Options{CRF: 60}); err == nil {
 		t.Error("x264 accepted CRF 60")
 	}
 }
@@ -77,11 +78,11 @@ func TestEncodeValidation(t *testing.T) {
 func TestEncodeDeterministic(t *testing.T) {
 	clip := testClip(t, "game2", 3, 16)
 	enc := MustNew(SVTAV1)
-	a, err := enc.Encode(clip, Options{CRF: 40, Preset: 6})
+	a, err := enc.Encode(context.Background(), clip, Options{CRF: 40, Preset: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := enc.Encode(clip, Options{CRF: 40, Preset: 6})
+	b, err := enc.Encode(context.Background(), clip, Options{CRF: 40, Preset: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,11 +98,11 @@ func TestEncodeThreadCountInvariant(t *testing.T) {
 	for _, fam := range []Family{SVTAV1, X264, X265, Libaom} {
 		enc := MustNew(fam)
 		_, crfHi := enc.CRFRange()
-		base, err := enc.Encode(clip, Options{CRF: crfHi / 2, Preset: 2, Threads: 1})
+		base, err := enc.Encode(context.Background(), clip, Options{CRF: crfHi / 2, Preset: 2, Threads: 1})
 		if err != nil {
 			t.Fatalf("%s threads=1: %v", fam, err)
 		}
-		par, err := enc.Encode(clip, Options{CRF: crfHi / 2, Preset: 2, Threads: 4})
+		par, err := enc.Encode(context.Background(), clip, Options{CRF: crfHi / 2, Preset: 2, Threads: 4})
 		if err != nil {
 			t.Fatalf("%s threads=4: %v", fam, err)
 		}
@@ -119,11 +120,11 @@ func TestCRFControlsRateAndQuality(t *testing.T) {
 	for _, fam := range []Family{SVTAV1, X264} {
 		enc := MustNew(fam)
 		_, crfHi := enc.CRFRange()
-		lo, err := enc.Encode(clip, Options{CRF: crfHi / 6, Preset: midPresetFor(enc)})
+		lo, err := enc.Encode(context.Background(), clip, Options{CRF: crfHi / 6, Preset: midPresetFor(enc)})
 		if err != nil {
 			t.Fatal(err)
 		}
-		hi, err := enc.Encode(clip, Options{CRF: crfHi - 3, Preset: midPresetFor(enc)})
+		hi, err := enc.Encode(context.Background(), clip, Options{CRF: crfHi - 3, Preset: midPresetFor(enc)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,11 +150,11 @@ func TestSlowPresetImprovesRD(t *testing.T) {
 	// better quality), or the preset sweep of Fig. 11 cannot reproduce.
 	clip := testClip(t, "game1", 4, 16)
 	enc := MustNew(SVTAV1)
-	slow, err := enc.Encode(clip, Options{CRF: 35, Preset: 1})
+	slow, err := enc.Encode(context.Background(), clip, Options{CRF: 35, Preset: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := enc.Encode(clip, Options{CRF: 35, Preset: 8})
+	fast, err := enc.Encode(context.Background(), clip, Options{CRF: 35, Preset: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +169,11 @@ func TestSlowPresetImprovesRD(t *testing.T) {
 func TestKeyIntervalInsertsKeyframes(t *testing.T) {
 	clip := testClip(t, "desktop", 6, 16)
 	enc := MustNew(SVTAV1)
-	allInter, err := enc.Encode(clip, Options{CRF: 40, Preset: 6})
+	allInter, err := enc.Encode(context.Background(), clip, Options{CRF: 40, Preset: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	keyed, err := enc.Encode(clip, Options{CRF: 40, Preset: 6, KeyInterval: 2})
+	keyed, err := enc.Encode(context.Background(), clip, Options{CRF: 40, Preset: 6, KeyInterval: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestKeyIntervalInsertsKeyframes(t *testing.T) {
 
 func TestReconMatchesSourceDimensions(t *testing.T) {
 	clip := testClip(t, "cat", 3, 16)
-	res, err := MustNew(VP9).Encode(clip, Options{CRF: 30, Preset: 4})
+	res, err := MustNew(VP9).Encode(context.Background(), clip, Options{CRF: 30, Preset: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,7 +411,7 @@ func TestScheduleMakespanBasics(t *testing.T) {
 func TestProfileScheduleShapes(t *testing.T) {
 	clip := testClip(t, "game1", 6, 8)
 	get := func(fam Family) *Schedule {
-		sched, res, err := ProfileSchedule(MustNew(fam), clip, Options{CRF: 45, Preset: 5})
+		sched, res, err := ProfileSchedule(context.Background(), MustNew(fam), clip, Options{CRF: 45, Preset: 5})
 		if err != nil {
 			t.Fatalf("%s: %v", fam, err)
 		}
@@ -478,7 +479,7 @@ func TestProfileScheduleShapes(t *testing.T) {
 func TestWorkerContextsReceiveCounts(t *testing.T) {
 	clip := testClip(t, "desktop", 3, 16)
 	var ctxs []*trace.Ctx
-	res, err := MustNew(SVTAV1).Encode(clip, Options{
+	res, err := MustNew(SVTAV1).Encode(context.Background(), clip, Options{
 		CRF: 40, Preset: 6, Threads: 2,
 		NewWorkerCtx: func(int) *trace.Ctx {
 			tc := trace.New()
@@ -515,7 +516,7 @@ func TestABRHitsTargetBitrate(t *testing.T) {
 	}
 	enc := MustNew(SVTAV1)
 	for _, target := range []float64{150, 600} {
-		res, err := enc.Encode(clip, Options{TargetKbps: target, Preset: 6, KeepBitstream: true})
+		res, err := enc.Encode(context.Background(), clip, Options{TargetKbps: target, Preset: 6, KeepBitstream: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -540,11 +541,11 @@ func TestABRHitsTargetBitrate(t *testing.T) {
 		assertFramesEqual(t, "abr", res.Recon, dec)
 	}
 	// Higher target buys more bytes and quality.
-	lo, err := enc.Encode(clip, Options{TargetKbps: 150, Preset: 6})
+	lo, err := enc.Encode(context.Background(), clip, Options{TargetKbps: 150, Preset: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hi, err := enc.Encode(clip, Options{TargetKbps: 600, Preset: 6})
+	hi, err := enc.Encode(context.Background(), clip, Options{TargetKbps: 600, Preset: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -557,11 +558,11 @@ func TestABRHitsTargetBitrate(t *testing.T) {
 func TestABRThreadInvariant(t *testing.T) {
 	clip := testClip(t, "game2", 6, 16)
 	enc := MustNew(SVTAV1)
-	a, err := enc.Encode(clip, Options{TargetKbps: 300, Preset: 6, Threads: 1})
+	a, err := enc.Encode(context.Background(), clip, Options{TargetKbps: 300, Preset: 6, Threads: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := enc.Encode(clip, Options{TargetKbps: 300, Preset: 6, Threads: 4})
+	b, err := enc.Encode(context.Background(), clip, Options{TargetKbps: 300, Preset: 6, Threads: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -572,7 +573,7 @@ func TestABRThreadInvariant(t *testing.T) {
 
 func TestABRValidation(t *testing.T) {
 	clip := testClip(t, "desktop", 2, 16)
-	if _, err := MustNew(SVTAV1).Encode(clip, Options{TargetKbps: -5}); err == nil {
+	if _, err := MustNew(SVTAV1).Encode(context.Background(), clip, Options{TargetKbps: -5}); err == nil {
 		t.Error("accepted negative target bitrate")
 	}
 }
@@ -588,7 +589,7 @@ func TestSceneCutInsertsKeyframe(t *testing.T) {
 		t.Fatal(err)
 	}
 	enc := MustNew(SVTAV1)
-	res, err := enc.Encode(clip, Options{CRF: 40, Preset: 6, SceneCut: true, KeepBitstream: true})
+	res, err := enc.Encode(context.Background(), clip, Options{CRF: 40, Preset: 6, SceneCut: true, KeepBitstream: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -602,7 +603,7 @@ func TestSceneCutInsertsKeyframe(t *testing.T) {
 		t.Errorf("scene cut at frame %d not keyed; keyframes = %v", cut, res.KeyFrames)
 	}
 	// Without scene-cut detection, only frame 0 is a keyframe.
-	plain, err := enc.Encode(clip, Options{CRF: 40, Preset: 6})
+	plain, err := enc.Encode(context.Background(), clip, Options{CRF: 40, Preset: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -624,7 +625,7 @@ func TestSceneCutInsertsKeyframe(t *testing.T) {
 
 func TestSceneCutNoFalsePositives(t *testing.T) {
 	clip := testClip(t, "desktop", 8, 16) // static screen content
-	res, err := MustNew(SVTAV1).Encode(clip, Options{CRF: 40, Preset: 6, SceneCut: true})
+	res, err := MustNew(SVTAV1).Encode(context.Background(), clip, Options{CRF: 40, Preset: 6, SceneCut: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -641,7 +642,7 @@ func TestHalfPelImprovesSlowPresetRD(t *testing.T) {
 	// phases in the bitstream.
 	clip := testClip(t, "game1", 5, 12)
 	enc := MustNew(SVTAV1)
-	res, err := enc.Encode(clip, Options{CRF: 30, Preset: 3, KeepBitstream: true})
+	res, err := enc.Encode(context.Background(), clip, Options{CRF: 30, Preset: 3, KeepBitstream: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -659,7 +660,7 @@ func TestHalfPelImprovesSlowPresetRD(t *testing.T) {
 	if !hdr.halfPel {
 		t.Error("preset 3 stream does not advertise half-pel MC")
 	}
-	fast, err := enc.Encode(clip, Options{CRF: 30, Preset: 8, KeepBitstream: true})
+	fast, err := enc.Encode(context.Background(), clip, Options{CRF: 30, Preset: 8, KeepBitstream: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -676,7 +677,7 @@ func TestHalfPelImprovesSlowPresetRD(t *testing.T) {
 func TestShapeHistogramReflectsSearchSpace(t *testing.T) {
 	clip := testClip(t, "game1", 4, 12)
 	// SVT-AV1 at a slow preset must actually use rectangular shapes.
-	svt, err := MustNew(SVTAV1).Encode(clip, Options{CRF: 25, Preset: 2})
+	svt, err := MustNew(SVTAV1).Encode(context.Background(), clip, Options{CRF: 25, Preset: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -693,7 +694,7 @@ func TestShapeHistogramReflectsSearchSpace(t *testing.T) {
 		t.Errorf("NONE/SPLIT never chosen: %v", svt.Shapes)
 	}
 	// VP9 can never emit the AV1-only shapes.
-	vp9, err := MustNew(VP9).Encode(clip, Options{CRF: 25, Preset: 2})
+	vp9, err := MustNew(VP9).Encode(context.Background(), clip, Options{CRF: 25, Preset: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -705,14 +706,14 @@ func TestShapeHistogramReflectsSearchSpace(t *testing.T) {
 	// Skips appear on static content (desktop) and grow with CRF; noisy
 	// game1 legitimately fails the skip SAD test at most blocks.
 	static := testClip(t, "desktop", 4, 12)
-	hi, err := MustNew(SVTAV1).Encode(static, Options{CRF: 55, Preset: 6})
+	hi, err := MustNew(SVTAV1).Encode(context.Background(), static, Options{CRF: 55, Preset: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hi.SkipBlocks == 0 {
 		t.Error("no SKIP blocks on static content at high CRF")
 	}
-	lo, err := MustNew(SVTAV1).Encode(static, Options{CRF: 5, Preset: 6})
+	lo, err := MustNew(SVTAV1).Encode(context.Background(), static, Options{CRF: 5, Preset: 6})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package encoders
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -37,7 +38,7 @@ func fuzzSeedStreams(t testing.TB) map[string][]byte {
 	for _, fam := range Families() {
 		enc := MustNew(fam)
 		lo, hi := enc.CRFRange()
-		res, err := enc.Encode(clip, Options{CRF: (lo + hi) / 2, Preset: 5, Threads: 1, KeepBitstream: true})
+		res, err := enc.Encode(context.Background(), clip, Options{CRF: (lo + hi) / 2, Preset: 5, Threads: 1, KeepBitstream: true})
 		if err != nil {
 			t.Fatalf("%s: seed encode: %v", fam, err)
 		}

@@ -2,6 +2,7 @@ package encoders
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -215,7 +216,7 @@ func TestCrossEncoderRoundTripAndDeterminism(t *testing.T) {
 				clip := testClip(t, pt.clip, pt.frames, 16)
 				opts := Options{CRF: famCRF(enc, pt.crf), Preset: pt.preset,
 					Threads: pt.threads, KeepBitstream: true}
-				res, err := enc.Encode(clip, opts)
+				res, err := enc.Encode(context.Background(), clip, opts)
 				if err != nil {
 					t.Fatalf("%v: encode: %v", pt, err)
 				}
@@ -224,7 +225,7 @@ func TestCrossEncoderRoundTripAndDeterminism(t *testing.T) {
 					t.Fatalf("%v: decode: %v", pt, err)
 				}
 				assertFramesEqual(t, pt.String(), res.Recon, dec)
-				res2, err := enc.Encode(clip, opts)
+				res2, err := enc.Encode(context.Background(), clip, opts)
 				if err != nil {
 					t.Fatalf("%v: re-encode: %v", pt, err)
 				}
@@ -259,7 +260,7 @@ func TestCrossEncoderSizeMonotoneInCRF(t *testing.T) {
 				crfLo := 5 + r.Intn(12)  // 5..16
 				crfHi := 45 + r.Intn(12) // 45..56
 				sizeAt := func(crf int) int {
-					res, err := enc.Encode(clip, Options{CRF: famCRF(enc, crf), Preset: preset,
+					res, err := enc.Encode(context.Background(), clip, Options{CRF: famCRF(enc, crf), Preset: preset,
 						Threads: 1, KeepBitstream: true})
 					if err != nil {
 						t.Fatalf("%s crf%d p%d: %v", clipName, crf, preset, err)
@@ -280,7 +281,7 @@ func TestCrossEncoderSizeMonotoneInCRF(t *testing.T) {
 // requires the decoder to fail cleanly (error, not panic) or succeed.
 func TestDecodeBitstreamNeverPanics(t *testing.T) {
 	clip := testClip(t, "game2", 3, 16)
-	res, err := MustNew(SVTAV1).Encode(clip, Options{CRF: 45, Preset: 6, KeepBitstream: true})
+	res, err := MustNew(SVTAV1).Encode(context.Background(), clip, Options{CRF: 45, Preset: 6, KeepBitstream: true})
 	if err != nil {
 		t.Fatal(err)
 	}

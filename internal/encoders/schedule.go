@@ -1,6 +1,7 @@
 package encoders
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -101,14 +102,19 @@ func newWorkerSet(se *streamEncoder, opts Options) (*workerSet, error) {
 }
 
 // runLive executes the graph on the worker pool. With one worker it
-// runs inline in topological order.
-func runLive(g *graph, ws *workerSet) error {
+// runs inline in topological order. Cancelling ctx stops execution at
+// the next task boundary: tasks are sub-frame units (rows, segments,
+// tiles), so an encode aborts between frames at the latest.
+func runLive(ctx context.Context, g *graph, ws *workerSet) error {
 	n := len(g.tasks)
 	if n == 0 {
-		return nil
+		return ctx.Err()
 	}
 	if ws.n == 1 {
 		for i := range g.tasks {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := runTask(&g.tasks[i], 0, ws.ctxs[0]); err != nil {
 				return fmt.Errorf("task %s: %w", g.tasks[i].name, err)
 			}
@@ -159,10 +165,17 @@ func runLive(g *graph, ws *workerSet) error {
 				stop := firstErr != nil
 				mu.Unlock()
 				if !stop {
-					if err := runTask(&g.tasks[id], worker, ws.ctxs[worker]); err != nil {
+					err := ctx.Err()
+					if err == nil {
+						err = runTask(&g.tasks[id], worker, ws.ctxs[worker])
+						if err != nil {
+							err = fmt.Errorf("task %s: %w", g.tasks[id].name, err)
+						}
+					}
+					if err != nil {
 						mu.Lock()
 						if firstErr == nil {
-							firstErr = fmt.Errorf("task %s: %w", g.tasks[id].name, err)
+							firstErr = err
 						}
 						mu.Unlock()
 					}
@@ -177,10 +190,14 @@ func runLive(g *graph, ws *workerSet) error {
 
 // runProfiled executes the graph serially on worker 0, measuring each
 // task's instruction cost with a private context that is then merged
-// into the worker context (if any).
-func runProfiled(g *graph, ws *workerSet) ([]uint64, error) {
+// into the worker context (if any). Cancelling ctx aborts between
+// tasks, like runLive.
+func runProfiled(ctx context.Context, g *graph, ws *workerSet) ([]uint64, error) {
 	costs := make([]uint64, len(g.tasks))
 	for i := range g.tasks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tc := trace.New()
 		if err := runTask(&g.tasks[i], 0, tc); err != nil {
 			return nil, fmt.Errorf("task %s: %w", g.tasks[i].name, err)

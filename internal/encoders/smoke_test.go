@@ -1,6 +1,7 @@
 package encoders
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestSmokeAllFamilies(t *testing.T) {
 			preset := (lo + hi) / 2
 			_ = rev
 			tc := trace.New()
-			res, err := enc.Encode(clip, Options{
+			res, err := enc.Encode(context.Background(), clip, Options{
 				CRF: crf, Preset: preset, Threads: 1,
 				NewWorkerCtx: func(int) *trace.Ctx { return tc },
 			})

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"vcprof/internal/encoders"
+)
+
+// TestRunCellPreCancelled: a cell requested under an already-cancelled
+// context never computes and never lands in the cache.
+func TestRunCellPreCancelled(t *testing.T) {
+	ResetCellCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := equivScale()
+	_, _, err := RunCell(ctx, s.CountedCell(encoders.SVTAV1, "desktop", 35, 8))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := CellCacheStats(); st.Entries != 0 {
+		t.Errorf("cancelled request left %d cache entries", st.Entries)
+	}
+}
+
+// TestRunCellCancelMidFlight cancels a computation after it starts and
+// checks (a) the requester gets a cancellation error promptly — the
+// encode aborts between tasks, not at the end — and (b) the cache is
+// not poisoned: a fresh request recomputes and succeeds.
+func TestRunCellCancelMidFlight(t *testing.T) {
+	ResetCellCache()
+	// A heavier operating point so there are many task boundaries to
+	// abort at.
+	cell := Cell{Kind: CellCounted, Family: encoders.SVTAV1, Clip: "game1",
+		Frames: 4, Div: 12, CRF: 10, Preset: 2, Threads: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := RunCell(ctx, cell)
+		errc <- err
+	}()
+	// Wait until the computation has been admitted to the cache (one
+	// miss), then cancel it.
+	for CellCacheStats().Misses == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled encode did not abort")
+	}
+
+	// The aborted entry must be gone; a clean retry computes fully.
+	res, hit, err := RunCell(context.Background(), cell)
+	if err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+	if hit {
+		t.Error("retry was served from cache; aborted entry was not dropped")
+	}
+	if res.Enc == nil || res.Enc.Bytes == 0 {
+		t.Error("retry produced an empty result")
+	}
+}
+
+// TestRunCellWaiterSurvivesRequesterCancel: a waiter that joined an
+// in-flight computation whose original requester cancels must not
+// inherit the cancellation — it retries under its own context and gets
+// a real result.
+func TestRunCellWaiterSurvivesRequesterCancel(t *testing.T) {
+	ResetCellCache()
+	cell := Cell{Kind: CellCounted, Family: encoders.SVTAV1, Clip: "game1",
+		Frames: 4, Div: 12, CRF: 20, Preset: 2, Threads: 1}
+
+	first, cancelFirst := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		RunCell(first, cell)
+	}()
+	for CellCacheStats().Misses == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	waiterErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := RunCell(context.Background(), cell)
+		waiterErr <- err
+	}()
+	// Let the waiter attach, then cancel the original requester.
+	time.Sleep(2 * time.Millisecond)
+	cancelFirst()
+
+	select {
+	case err := <-waiterErr:
+		if err != nil {
+			t.Fatalf("waiter inherited the requester's cancellation: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("waiter never completed")
+	}
+	wg.Wait()
+}

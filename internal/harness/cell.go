@@ -2,6 +2,8 @@ package harness
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -127,8 +129,9 @@ type CellResult struct {
 	Sched *encoders.Schedule // CellSchedule
 }
 
-// run computes the cell's measurement (uncached).
-func (c Cell) run() (CellResult, error) {
+// run computes the cell's measurement (uncached). Cancelling ctx
+// aborts the underlying encode at its next task boundary.
+func (c Cell) run(ctx context.Context) (CellResult, error) {
 	clip, err := cachedClip(c.Clip, c.Frames, c.Div)
 	if err != nil {
 		return CellResult{}, err
@@ -140,17 +143,17 @@ func (c Cell) run() (CellResult, error) {
 	opts := encoders.Options{CRF: c.CRF, Preset: c.Preset, Threads: c.Threads}
 	switch c.Kind {
 	case CellStat:
-		st, err := perf.Stat(enc, clip, opts)
+		st, err := perf.Stat(ctx, enc, clip, opts)
 		return CellResult{Stat: st}, err
 	case CellCounted:
 		opts.NewWorkerCtx = func(int) *trace.Ctx { return trace.New() }
-		res, err := enc.Encode(clip, opts)
+		res, err := enc.Encode(ctx, clip, opts)
 		return CellResult{Enc: res}, err
 	case CellWindow:
-		rec, _, err := perf.RecordWindow(enc, clip, opts, 0.5, c.WindowOps)
+		rec, _, err := perf.RecordWindow(ctx, enc, clip, opts, 0.5, c.WindowOps)
 		return CellResult{Rec: rec}, err
 	case CellPipeline:
-		win, _, err := getCell(c.windowKey())
+		win, _, err := getCell(ctx, c.windowKey())
 		if err != nil {
 			return CellResult{}, err
 		}
@@ -161,7 +164,7 @@ func (c Cell) run() (CellResult, error) {
 		res, err := sim.Run(win.Rec.Ops)
 		return CellResult{Pipe: res}, err
 	case CellSchedule:
-		sched, _, err := encoders.ProfileSchedule(enc, clip, opts)
+		sched, _, err := encoders.ProfileSchedule(ctx, enc, clip, opts)
 		return CellResult{Sched: sched}, err
 	}
 	return CellResult{}, fmt.Errorf("harness: unknown cell kind %d", c.Kind)
@@ -207,15 +210,43 @@ var cellCache = struct {
 // getCell returns the memoized result for a cell, computing it on the
 // first request. The second return reports whether the entry already
 // existed (a cache hit, including joins on an in-flight computation).
-func getCell(c Cell) (CellResult, bool, error) {
+//
+// Cancellation never poisons the cache: a computation aborted by its
+// requester's ctx is removed from the cache, and a waiter whose own ctx
+// is still live retries (recomputing under its own ctx) instead of
+// inheriting another caller's cancellation.
+func getCell(ctx context.Context, c Cell) (CellResult, bool, error) {
+	for {
+		res, hit, err := getCellOnce(ctx, c)
+		if hit && err != nil && ctx.Err() == nil && isCancellation(err) {
+			// We joined a computation that its own requester cancelled;
+			// the entry has been dropped, so try again under our ctx.
+			continue
+		}
+		return res, hit, err
+	}
+}
+
+// isCancellation reports whether err is a context cancellation or
+// deadline error (possibly wrapped by task labels).
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func getCellOnce(ctx context.Context, c Cell) (CellResult, bool, error) {
 	cellCache.Lock()
 	if e, ok := cellCache.m[c]; ok {
 		cellCache.lru.MoveToFront(e.elem)
 		cellCache.hits++
 		cellCache.Unlock()
 		obsCellHits.Add(1)
-		<-e.done
-		return e.val, true, e.err
+		select {
+		case <-e.done:
+			return e.val, true, e.err
+		case <-ctx.Done():
+			// Abandon the wait; the computation continues for others.
+			return CellResult{}, true, ctx.Err()
+		}
 	}
 	e := &cellEntry{cell: c, done: make(chan struct{})}
 	e.elem = cellCache.lru.PushFront(e)
@@ -224,10 +255,19 @@ func getCell(c Cell) (CellResult, bool, error) {
 	cellCache.Unlock()
 	obsCellMisses.Add(1)
 
-	e.val, e.err = c.run()
+	e.val, e.err = c.run(ctx)
 	close(e.done)
 
 	cellCache.Lock()
+	if e.err != nil && isCancellation(e.err) {
+		// Drop the aborted entry so the next request recomputes.
+		if _, ok := cellCache.m[c]; ok && cellCache.m[c] == e {
+			cellCache.lru.Remove(e.elem)
+			delete(cellCache.m, c)
+		}
+		cellCache.Unlock()
+		return e.val, false, e.err
+	}
 	e.weight = e.val.weight()
 	cellCache.weight += e.weight
 	evictCellsLocked()

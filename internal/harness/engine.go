@@ -170,7 +170,7 @@ submit:
 			defer func() { <-sem }()
 			obsOccupancyPeak.Max(uint64(inflight.Add(1)))
 			defer inflight.Add(-1)
-			r, hit, err := getCell(cells[i])
+			r, hit, err := getCell(cctx, cells[i])
 			if err != nil {
 				fail(fmt.Errorf("cell %s: %w", cells[i], err))
 				return
@@ -203,4 +203,40 @@ func (e Experiment) Run(s Scale) ([]*Table, error) {
 	}
 	tables, _, _, err := runExperiment(context.Background(), e, s, 1, nil)
 	return tables, err
+}
+
+// RunCell computes one cell through the process-wide memo cache — the
+// service-facing entry point for single-measurement jobs. The second
+// return reports a cache hit (including joining an in-flight identical
+// computation). Cancelling ctx aborts the measurement at the next task
+// boundary; aborted computations are never cached.
+func RunCell(ctx context.Context, c Cell) (CellResult, bool, error) {
+	return getCell(ctx, c)
+}
+
+// RunExperiment executes one registered experiment by ID and returns
+// its report — the service-facing entry point for experiment jobs. It
+// shares the memo cache with every other caller in the process, so a
+// daemon serving repeat traffic recomputes nothing.
+func RunExperiment(ctx context.Context, id string, s Scale, workers int, sess *obs.Session) (*ExperimentReport, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	e, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	//lint:ignore detnow engine progress/timing layer: ExperimentReport.Wall is operator reporting, never a table cell (same contract as RunAll)
+	t0 := time.Now()
+	tables, cells, hits, err := runExperiment(ctx, e, s, workers, sess)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	return &ExperimentReport{
+		ID: e.ID, Title: e.Title, Tables: tables,
+		Wall: time.Since(t0), Cells: cells, CacheHits: hits,
+	}, nil
 }

@@ -158,7 +158,7 @@ func TestCellCacheBounded(t *testing.T) {
 	// Budget fits roughly one window; recording three must evict.
 	setCellCacheCap(60_000)
 	for _, crf := range []int{10, 35, 60} {
-		if _, _, err := getCell(s.WindowCell(encoders.SVTAV1, "desktop", crf, 4)); err != nil {
+		if _, _, err := getCell(context.Background(), s.WindowCell(encoders.SVTAV1, "desktop", crf, 4)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -170,7 +170,7 @@ func TestCellCacheBounded(t *testing.T) {
 		t.Errorf("no eviction happened: %d entries", st.Entries)
 	}
 	// Evicted cells recompute to identical results.
-	r1, _, err := getCell(s.WindowCell(encoders.SVTAV1, "desktop", 10, 4))
+	r1, _, err := getCell(context.Background(), s.WindowCell(encoders.SVTAV1, "desktop", 10, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestCellMemoExactlyOnce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, _, err := getCell(c)
+			r, _, err := getCell(context.Background(), c)
 			if err != nil {
 				t.Error(err)
 				return

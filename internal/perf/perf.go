@@ -9,6 +9,7 @@
 package perf
 
 import (
+	"context"
 	"fmt"
 
 	"vcprof/internal/encoders"
@@ -91,7 +92,7 @@ func (t *takenCounter) Branch(_ trace.PC, taken bool) {
 // returns the measured counters. Characterization runs are
 // single-threaded like the paper's perf runs; opts.Threads and
 // opts.NewWorkerCtx are overridden.
-func Stat(enc encoders.Encoder, clip *video.Clip, opts encoders.Options) (*Counters, error) {
+func Stat(ctx context.Context, enc encoders.Encoder, clip *video.Clip, opts encoders.Options) (*Counters, error) {
 	if enc == nil || clip == nil {
 		return nil, fmt.Errorf("perf: nil encoder or clip")
 	}
@@ -112,7 +113,7 @@ func Stat(enc encoders.Encoder, clip *video.Clip, opts encoders.Options) (*Count
 
 	opts.Threads = 1
 	opts.NewWorkerCtx = func(int) *trace.Ctx { return tc }
-	res, err := enc.Encode(clip, opts)
+	res, err := enc.Encode(ctx, clip, opts)
 	if err != nil {
 		return nil, err
 	}

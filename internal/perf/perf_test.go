@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"context"
 	"testing"
 
 	"vcprof/internal/encoders"
@@ -23,7 +24,7 @@ func clip(t testing.TB, name string, frames, div int) *video.Clip {
 func TestStatProducesPaperLikeCounters(t *testing.T) {
 	c := clip(t, "game1", 4, 16)
 	enc := encoders.MustNew(encoders.SVTAV1)
-	got, err := Stat(enc, c, encoders.Options{CRF: 35, Preset: 6})
+	got, err := Stat(context.Background(), enc, c, encoders.Options{CRF: 35, Preset: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,11 +65,11 @@ func TestStatCRFTrends(t *testing.T) {
 	// rises; branch MPKI falls; L1D MPKI rises (roofline argument).
 	c := clip(t, "cricket", 4, 16)
 	enc := encoders.MustNew(encoders.SVTAV1)
-	lo, err := Stat(enc, c, encoders.Options{CRF: 15, Preset: 5})
+	lo, err := Stat(context.Background(), enc, c, encoders.Options{CRF: 15, Preset: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hi, err := Stat(enc, c, encoders.Options{CRF: 60, Preset: 5})
+	hi, err := Stat(context.Background(), enc, c, encoders.Options{CRF: 60, Preset: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestStatCRFTrends(t *testing.T) {
 }
 
 func TestStatValidation(t *testing.T) {
-	if _, err := Stat(nil, nil, encoders.Options{}); err == nil {
+	if _, err := Stat(context.Background(), nil, nil, encoders.Options{}); err == nil {
 		t.Error("accepted nil inputs")
 	}
 }
@@ -93,7 +94,7 @@ func TestRecordWindow(t *testing.T) {
 	c := clip(t, "game2", 3, 16)
 	enc := encoders.MustNew(encoders.SVTAV1)
 	opts := encoders.Options{CRF: 50, Preset: 8}
-	rec, total, err := RecordWindow(enc, c, opts, 0.5, 50_000)
+	rec, total, err := RecordWindow(context.Background(), enc, c, opts, 0.5, 50_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestRecordWindow(t *testing.T) {
 		t.Error("window missing branches or memory ops")
 	}
 	// Determinism: recording again yields the identical window.
-	rec2, total2, err := RecordWindow(enc, c, opts, 0.5, 50_000)
+	rec2, total2, err := RecordWindow(context.Background(), enc, c, opts, 0.5, 50_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,10 +137,10 @@ func TestRecordWindow(t *testing.T) {
 func TestRecordWindowValidation(t *testing.T) {
 	c := clip(t, "game2", 2, 16)
 	enc := encoders.MustNew(encoders.X264)
-	if _, _, err := RecordWindow(enc, c, encoders.Options{CRF: 30}, 1.5, 0); err == nil {
+	if _, _, err := RecordWindow(context.Background(), enc, c, encoders.Options{CRF: 30}, 1.5, 0); err == nil {
 		t.Error("accepted fraction >= 1")
 	}
-	if _, _, err := RecordWindow(nil, c, encoders.Options{}, 0.5, 0); err == nil {
+	if _, _, err := RecordWindow(context.Background(), nil, c, encoders.Options{}, 0.5, 0); err == nil {
 		t.Error("accepted nil encoder")
 	}
 }
@@ -147,7 +148,7 @@ func TestRecordWindowValidation(t *testing.T) {
 func TestProfileFindsHotFunctions(t *testing.T) {
 	c := clip(t, "desktop", 3, 16)
 	enc := encoders.MustNew(encoders.SVTAV1)
-	prof, err := Profile(enc, c, encoders.Options{CRF: 30, Preset: 4})
+	prof, err := Profile(context.Background(), enc, c, encoders.Options{CRF: 30, Preset: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"context"
 	"fmt"
 
 	"vcprof/internal/encoders"
@@ -19,7 +20,7 @@ const DefaultWindowOps = 400_000
 // to limit ops starting at fraction frac of the run (the paper uses a
 // window "roughly halfway through the encoding run", frac = 0.5).
 // Encodes are deterministic, so the two runs see identical streams.
-func RecordWindow(enc encoders.Encoder, clip *video.Clip, opts encoders.Options, frac float64, limit uint64) (*trace.Recorder, uint64, error) {
+func RecordWindow(ctx context.Context, enc encoders.Encoder, clip *video.Clip, opts encoders.Options, frac float64, limit uint64) (*trace.Recorder, uint64, error) {
 	if enc == nil || clip == nil {
 		return nil, 0, fmt.Errorf("perf: nil encoder or clip")
 	}
@@ -32,7 +33,7 @@ func RecordWindow(enc encoders.Encoder, clip *video.Clip, opts encoders.Options,
 	countCtx := trace.New()
 	opts.Threads = 1
 	opts.NewWorkerCtx = func(int) *trace.Ctx { return countCtx }
-	if _, err := enc.Encode(clip, opts); err != nil {
+	if _, err := enc.Encode(ctx, clip, opts); err != nil {
 		return nil, 0, err
 	}
 	total := countCtx.Total()
@@ -50,7 +51,7 @@ func RecordWindow(enc encoders.Encoder, clip *video.Clip, opts encoders.Options,
 	recCtx := trace.New()
 	recCtx.AttachRecorder(rec)
 	opts.NewWorkerCtx = func(int) *trace.Ctx { return recCtx }
-	if _, err := enc.Encode(clip, opts); err != nil {
+	if _, err := enc.Encode(ctx, clip, opts); err != nil {
 		return nil, 0, err
 	}
 	if len(rec.Ops) == 0 {
@@ -61,7 +62,7 @@ func RecordWindow(enc encoders.Encoder, clip *video.Clip, opts encoders.Options,
 
 // Profile is the gprof substitute: it runs the encode with per-function
 // accounting and returns the flat profile.
-func Profile(enc encoders.Encoder, clip *video.Clip, opts encoders.Options) (*trace.Profile, error) {
+func Profile(ctx context.Context, enc encoders.Encoder, clip *video.Clip, opts encoders.Options) (*trace.Profile, error) {
 	if enc == nil || clip == nil {
 		return nil, fmt.Errorf("perf: nil encoder or clip")
 	}
@@ -70,7 +71,7 @@ func Profile(enc encoders.Encoder, clip *video.Clip, opts encoders.Options) (*tr
 	tc.AttachProfile(prof)
 	opts.Threads = 1
 	opts.NewWorkerCtx = func(int) *trace.Ctx { return tc }
-	if _, err := enc.Encode(clip, opts); err != nil {
+	if _, err := enc.Encode(ctx, clip, opts); err != nil {
 		return nil, err
 	}
 	return prof, nil

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"vcprof/internal/encoders"
+	"vcprof/internal/harness"
+)
+
+// JobResult is the stored (and served) outcome of a job. Output is the
+// deterministic text payload: for experiment jobs it is byte-identical
+// to what `repro <id>` prints for the same experiment and scale, so a
+// result fetched over HTTP can be diffed directly against a CLI run.
+// Wall-clock, worker counts and cache provenance are deliberately
+// absent — the document depends only on the canonical spec.
+type JobResult struct {
+	Key    string  `json:"key"`
+	Spec   JobSpec `json:"spec"`
+	Output string  `json:"output"`
+}
+
+// Encode serializes the result document. Field order is fixed by the
+// struct, so equal results are equal bytes — the property the store's
+// content addressing and vcload's cross-pass digests rely on.
+func (r *JobResult) Encode() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		// JobResult is plain scalars and strings.
+		panic("service: result marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// DecodeResult parses stored result bytes.
+func DecodeResult(data []byte) (*JobResult, error) {
+	var r JobResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("service: corrupt result document: %w", err)
+	}
+	return &r, nil
+}
+
+// Execute runs a normalized, validated spec to completion and returns
+// its result document. This is the single computation path: workers
+// call it through the daemon, tests call it directly to pin that the
+// served bytes match an in-process run.
+func Execute(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+	out, err := executeOutput(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{Key: spec.Key(), Spec: *spec, Output: out}, nil
+}
+
+func executeOutput(ctx context.Context, spec *JobSpec) (string, error) {
+	switch spec.Kind {
+	case KindEncode:
+		res, _, err := harness.RunCell(ctx, spec.cell())
+		if err != nil {
+			return "", err
+		}
+		return renderEncode(spec, res.Enc), nil
+	case KindExperiment:
+		scale := harness.DefaultScale()
+		if spec.Quick {
+			scale = harness.QuickScale()
+		}
+		rep, err := harness.RunExperiment(ctx, spec.Experiment, scale, 1, nil)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		for _, t := range rep.Tables {
+			// repro prints each table with fmt.Println(t.Render()).
+			b.WriteString(t.Render())
+			b.WriteByte('\n')
+		}
+		return b.String(), nil
+	}
+	return "", fmt.Errorf("service: unknown job kind %q", spec.Kind)
+}
+
+// renderEncode formats a counted encode deterministically: every field
+// is a pure function of the operating point (no wall time, no worker
+// accounting), in fixed order.
+func renderEncode(spec *JobSpec, r *encoders.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "encode %s %s frames=%d div=%d crf=%d preset=%d threads=%d\n",
+		spec.Family, spec.Clip, spec.Frames, spec.ScaleDiv, spec.CRF, spec.Preset, spec.Threads)
+	fmt.Fprintf(&b, "bytes        %d\n", r.Bytes)
+	fmt.Fprintf(&b, "bitrate_kbps %.3f\n", r.BitrateKbps)
+	fmt.Fprintf(&b, "psnr_db      %.4f\n", r.PSNR)
+	fmt.Fprintf(&b, "ssim         %.6f\n", r.SSIM)
+	fmt.Fprintf(&b, "instructions %d\n", r.Insts)
+	fmt.Fprintf(&b, "skip_blocks  %d\n", r.SkipBlocks)
+	fmt.Fprintf(&b, "keyframes    %v\n", r.KeyFrames)
+	fmt.Fprintf(&b, "qindices     %v\n", r.QIndices)
+	fmt.Fprintf(&b, "frame_bytes  %v\n", r.FrameBytes)
+	fmt.Fprintf(&b, "shapes       %v\n", r.Shapes)
+	return b.String()
+}

@@ -1,0 +1,287 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vcprof/internal/harness"
+	"vcprof/internal/obs"
+)
+
+// Config sizes a Server. Zero values select the defaults noted inline.
+type Config struct {
+	StoreDir      string // result store root (required)
+	StoreMaxBytes int64  // store budget (default 1 GiB)
+	Workers       int    // worker pool size (default 4)
+	QueueCap      int    // queued-job bound before 429 (default 64)
+	// DefaultTimeout bounds a job whose spec carries no timeout
+	// (default 2m). Specs may only tighten it, never exceed it.
+	DefaultTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: in-flight and queued jobs
+	// get this long to finish before the base context is cancelled and
+	// they abort at the next task boundary (default 10s).
+	DrainTimeout time.Duration
+	// Obs, when non-nil, receives one span lane per worker plus the
+	// service counters; /debug/trace exports it. nil disables tracing.
+	Obs *obs.Session
+}
+
+func (c *Config) fill() {
+	if c.Workers < 1 {
+		c.Workers = 4
+	}
+	if c.QueueCap < 1 {
+		c.QueueCap = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+}
+
+// Server is the vcprofd core: admission control, the job table, the
+// worker pool and the result store, behind a plain http.Handler so the
+// transport (real listener in cmd/vcprofd, httptest in the lifecycle
+// tests) stays outside.
+type Server struct {
+	cfg   Config
+	store *Store
+	q     *queue
+	jobs  *jobTable
+	board *traceBoard
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	draining   atomic.Bool
+}
+
+// NewServer opens the store and builds a stopped server; Start launches
+// the workers. The base context — parent of every job — is derived from
+// ctx, so cancelling ctx hard-stops all computation.
+func NewServer(ctx context.Context, cfg Config) (*Server, error) {
+	cfg.fill()
+	if cfg.StoreDir == "" {
+		return nil, fmt.Errorf("service: Config.StoreDir is required")
+	}
+	store, err := OpenStore(cfg.StoreDir, cfg.StoreMaxBytes)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: store,
+		q:     newQueue(cfg.QueueCap),
+		jobs:  newJobTable(),
+		board: newTraceBoard(cfg.Obs, cfg.Workers),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(ctx)
+	return s, nil
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+}
+
+// Store exposes the result store (read-side: tests and vcprofd stats).
+func (s *Server) Store() *Store { return s.store }
+
+// Shutdown drains the server: admission stops (new submissions get
+// 503), queued and in-flight jobs get until ctx's deadline to finish,
+// then the base context is cancelled and stragglers abort at their next
+// task boundary. The store index is flushed last, so a warm restart
+// resumes with the same LRU order. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.q.close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Out of patience: abort in-flight jobs and wait for the pool
+		// to notice (task boundaries are fine-grained, so this is fast).
+		err = ctx.Err()
+		s.baseCancel()
+		<-done
+	}
+	s.baseCancel()
+	if ferr := s.store.Flush(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// jobStatus is the wire form of a job's state.
+type jobStatus struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		obsJobsRefused.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := spec.Key()
+	if s.store.Contains(key) {
+		obsJobsCached.Add(1)
+		writeJSON(w, http.StatusOK, jobStatus{ID: key, Status: StateDone, Cached: true})
+		return
+	}
+	j, joined := s.jobs.getOrAdd(spec, key)
+	if joined {
+		// Singleflight: this submission rides the identical in-flight
+		// job; one computation will satisfy both.
+		obsJobsDeduped.Add(1)
+		state, _ := s.jobs.snapshot(j)
+		writeJSON(w, http.StatusAccepted, jobStatus{ID: key, Status: state})
+		return
+	}
+	if err := s.q.push(j); err != nil {
+		s.jobs.remove(key, j)
+		switch err {
+		case ErrSaturated:
+			obsJobsRejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "queue saturated (%d queued)", s.q.depth())
+		default:
+			obsJobsRefused.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+		}
+		return
+	}
+	obsJobsSubmitted.Add(1)
+	obsQueuePeak.Max(uint64(s.q.depth()))
+	writeJSON(w, http.StatusAccepted, jobStatus{ID: key, Status: StateQueued})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if j, ok := s.jobs.get(id); ok {
+		state, errMsg := s.jobs.snapshot(j)
+		writeJSON(w, http.StatusOK, jobStatus{ID: id, Status: state, Error: errMsg})
+		return
+	}
+	if s.store.Contains(id) {
+		writeJSON(w, http.StatusOK, jobStatus{ID: id, Status: StateDone, Cached: true})
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown job %q", id)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	data, ok, err := s.store.Get(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+		return
+	}
+	if j, ok := s.jobs.get(id); ok {
+		state, errMsg := s.jobs.snapshot(j)
+		if state == StateFailed {
+			writeJSON(w, http.StatusInternalServerError, jobStatus{ID: id, Status: state, Error: errMsg})
+			return
+		}
+		// Known but not finished: poll again.
+		writeJSON(w, http.StatusConflict, jobStatus{ID: id, Status: state})
+		return
+	}
+	writeError(w, http.StatusNotFound, "no result for %q", id)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, obs.RenderCounters(true))
+	st := s.store.Stats()
+	cc := harness.CellCacheStats()
+	fmt.Fprintf(w, "-- service --\n")
+	fmt.Fprintf(w, "queue.depth     %d\n", s.q.depth())
+	fmt.Fprintf(w, "store.objects   %d\n", st.Objects)
+	fmt.Fprintf(w, "store.bytes     %d\n", st.Bytes)
+	fmt.Fprintf(w, "store.cap       %d\n", st.Cap)
+	fmt.Fprintf(w, "cells.hits      %d\n", cc.Hits)
+	fmt.Fprintf(w, "cells.misses    %d\n", cc.Misses)
+	fmt.Fprintf(w, "cells.entries   %d\n", cc.Entries)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.board.enabled() {
+		writeError(w, http.StatusNotFound, "tracing disabled (start vcprofd with -trace)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.board.export(w); err != nil {
+		// Too late for a status change; the body is already partial.
+		return
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

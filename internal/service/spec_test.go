@@ -1,0 +1,107 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func validEncodeSpec() JobSpec {
+	return JobSpec{
+		Kind: KindEncode, Family: "x264", Clip: "desktop",
+		Frames: 2, ScaleDiv: 32, CRF: 28, Preset: 4, Threads: 1,
+	}
+}
+
+func TestSpecKeyIgnoresScheduling(t *testing.T) {
+	a := validEncodeSpec()
+	b := validEncodeSpec()
+	b.Priority = PriorityBatch
+	b.TimeoutMS = 5000
+	a.Normalize()
+	b.Normalize()
+	if a.Key() != b.Key() {
+		t.Errorf("priority/timeout changed the content key:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	c := validEncodeSpec()
+	c.CRF = 29
+	c.Normalize()
+	if c.Key() == a.Key() {
+		t.Error("different CRF produced the same key")
+	}
+}
+
+func TestSpecNormalizeDefaults(t *testing.T) {
+	implicit := JobSpec{Kind: KindEncode, Family: "x264", Clip: "desktop", CRF: 28, Preset: 4}
+	implicit.Normalize()
+	explicit := JobSpec{Kind: KindEncode, Family: "x264", Clip: "desktop",
+		Frames: 4, ScaleDiv: 16, CRF: 28, Preset: 4, Threads: 1}
+	explicit.Normalize()
+	if implicit.Key() != explicit.Key() {
+		t.Errorf("defaulted spec does not canonicalize to the explicit form:\n%s\n%s",
+			implicit.Canonical(), explicit.Canonical())
+	}
+
+	// Irrelevant fields are cleared per kind, so they cannot split keys.
+	enc := validEncodeSpec()
+	enc.Experiment = "fig1"
+	enc.Quick = true
+	enc.Normalize()
+	if enc.Experiment != "" || enc.Quick {
+		t.Error("encode spec kept experiment fields after Normalize")
+	}
+	exp := JobSpec{Kind: KindExperiment, Experiment: "fig1", Family: "x264", CRF: 10}
+	exp.Normalize()
+	if exp.Family != "" || exp.CRF != 0 {
+		t.Error("experiment spec kept encode fields after Normalize")
+	}
+
+	p := validEncodeSpec()
+	p.Priority = 99
+	p.Normalize()
+	if p.Priority != PriorityBatch {
+		t.Errorf("priority not clamped: %d", p.Priority)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*JobSpec)
+		want string // substring of the error, "" = valid
+	}{
+		{"valid", func(s *JobSpec) {}, ""},
+		{"bad kind", func(s *JobSpec) { s.Kind = "transcode" }, "unknown job kind"},
+		{"bad family", func(s *JobSpec) { s.Family = "av2" }, "unknown family"},
+		{"bad clip", func(s *JobSpec) { s.Clip = "no-such-clip" }, "unknown vbench clip"},
+		{"crf high", func(s *JobSpec) { s.CRF = 99 }, "crf 99 out of range"},
+		{"frames high", func(s *JobSpec) { s.Frames = 1000 }, "frames 1000 out of range"},
+		{"threads high", func(s *JobSpec) { s.Threads = 99 }, "threads 99 out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validEncodeSpec()
+			tc.mut(&s)
+			s.Normalize()
+			err := s.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid spec rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	exp := JobSpec{Kind: KindExperiment, Experiment: "fig1"}
+	exp.Normalize()
+	if err := exp.Validate(); err != nil {
+		t.Errorf("valid experiment rejected: %v", err)
+	}
+	exp.Experiment = "fig99"
+	if err := exp.Validate(); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

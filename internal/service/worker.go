@@ -1,0 +1,120 @@
+package service
+
+import (
+	"context"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"vcprof/internal/obs"
+)
+
+// worker is one pool goroutine: pop, execute, publish, repeat. It exits
+// when the queue is closed and drained (graceful shutdown keeps serving
+// queued work until then).
+func (s *Server) worker(idx int) {
+	defer s.wg.Done()
+	for {
+		j, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		s.runJob(idx, j)
+	}
+}
+
+// runJob executes one job under its deadline and publishes the outcome:
+// result bytes into the store (then the job is marked done and
+// untracked), or the error onto the job record.
+func (s *Server) runJob(idx int, j *job) {
+	// A twin submitted, computed and stored while this one waited in
+	// the queue satisfies it for free.
+	if s.store.Contains(j.key) {
+		obsJobsCompleted.Add(1)
+		s.jobs.setState(j, StateDone, "")
+		return
+	}
+	s.jobs.setState(j, StateRunning, "")
+	timeout := s.cfg.DefaultTimeout
+	if t := time.Duration(j.spec.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
+		timeout = t
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	res, err := Execute(ctx, &j.spec)
+	cancel()
+	if err != nil {
+		obsJobsFailed.Add(1)
+		s.board.span(idx, obsJobFailedName, j.key, 1)
+		s.jobs.setState(j, StateFailed, err.Error())
+		return
+	}
+	data := res.Encode()
+	if perr := s.store.Put(j.key, data); perr != nil {
+		obsJobsFailed.Add(1)
+		s.board.span(idx, obsJobFailedName, j.key, 1)
+		s.jobs.setState(j, StateFailed, "store: "+perr.Error())
+		return
+	}
+	obsJobsCompleted.Add(1)
+	// Ticks advance by payload size — a modeled quantity, never host
+	// time, per the obs contract.
+	s.board.span(idx, obsJobDoneName, j.key, uint64(len(data)))
+	s.jobs.setState(j, StateDone, "")
+}
+
+// traceBoard owns the per-worker span lanes. obs Traces are
+// single-goroutine by contract; the board serializes the (rare, cheap)
+// span appends against /debug/trace exports with one mutex so the
+// export can run while traffic flows.
+type traceBoard struct {
+	sess *obs.Session // nil = tracing disabled
+
+	mu    sync.Mutex
+	lanes []*obs.Trace
+}
+
+func newTraceBoard(sess *obs.Session, workers int) *traceBoard {
+	if sess == nil {
+		return &traceBoard{}
+	}
+	// Lanes are created here, in index order, before any worker runs —
+	// lane layout is deterministic even though span contents follow the
+	// scheduler.
+	lanes := make([]*obs.Trace, workers)
+	for i := range lanes {
+		lanes[i] = sess.Lane("worker-" + strconv.Itoa(i))
+	}
+	return &traceBoard{sess: sess, lanes: lanes}
+}
+
+func (b *traceBoard) enabled() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sess != nil
+}
+
+// span records one closed span of the given virtual width on a worker's
+// lane.
+func (b *traceBoard) span(idx int, name obs.NameID, arg string, ticks uint64) {
+	if b.sess == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if idx < 0 || idx >= len(b.lanes) {
+		return
+	}
+	tr := b.lanes[idx]
+	sp := tr.BeginArg(name, arg)
+	tr.Advance(ticks)
+	sp.End()
+}
+
+// export writes the Chrome trace while holding the board lock, so no
+// lane mutates mid-export.
+func (b *traceBoard) export(w io.Writer) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return obs.WriteChromeTrace(w, b.sess)
+}
