@@ -9,7 +9,7 @@
 GO ?= go
 RACE_TIMEOUT ?= 60m
 FUZZTIME ?= 10s
-BENCH_OUT ?= BENCH_pr4
+BENCH_OUT ?= BENCH_pr5
 
 # Every stdlib vet pass, spelled out (from `go tool vet help`) so a
 # toolchain that grows a new pass fails loudly here instead of silently
@@ -21,9 +21,9 @@ VET_PASSES = -appends -asmdecl -assign -atomic -bools -buildtag \
 	-stringintconv -structtag -testinggoroutine -tests -timeformat \
 	-unmarshal -unreachable -unsafeptr -unusedresult
 
-.PHONY: ci fmt vet build lint test race golden bench bench-short fuzz-smoke serve-smoke
+.PHONY: ci fmt vet build lint test race golden bench bench-short fuzz-smoke serve-smoke telemetry-smoke
 
-ci: fmt vet build lint test fuzz-smoke bench-short serve-smoke race
+ci: fmt vet build lint test fuzz-smoke bench-short serve-smoke telemetry-smoke race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -49,7 +49,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/harness ./internal/encoders ./internal/service
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/harness ./internal/encoders \
+		./internal/service ./internal/obs ./internal/telemetry ./internal/uarch/topdown
 
 # Regenerate the golden regression tables after an intentional change,
 # then review the diff under internal/harness/testdata/golden/.
@@ -73,7 +74,15 @@ bench-short:
 # failures, identical digests across passes, a >=90% store hit rate on
 # the warm pass, and a clean SIGTERM drain. See scripts/serve_smoke.sh.
 serve-smoke:
-	BENCH_OUT=$(BENCH_OUT) GO="$(GO)" sh scripts/serve_smoke.sh
+	BENCH_OUT=BENCH_pr4 GO="$(GO)" sh scripts/serve_smoke.sh
+
+# End-to-end smoke of the live telemetry pipeline: the same seeded
+# vcload mix against a telemetry-off and a telemetry-on daemon must
+# produce identical digests; `vcperf top -once -assert` must hold
+# mid-load (top-down sums to 1 +/- 0.001, p99 >= p50); series and
+# folded-stack surfaces must serve. See scripts/telemetry_smoke.sh.
+telemetry-smoke:
+	BENCH_OUT=$(BENCH_OUT) GO="$(GO)" sh scripts/telemetry_smoke.sh
 
 # Ten-second smoke of each fuzz target over its committed seed corpus.
 # Finding a crasher here fails CI; reproduce with the file Go writes

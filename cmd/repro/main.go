@@ -45,6 +45,7 @@ func run() error {
 		verbose = flag.Bool("v", false, "report per-experiment wall time and cache hits")
 		trOut   = flag.String("trace", "", "write a Chrome trace-event JSON (virtual ticks) of the run to this file")
 		stats   = flag.Bool("stats", false, "print obs counters and the self-profile table after the run")
+		foldOut = flag.String("fold", "", "write folded stacks (flamegraph.pl collapsed format, virtual ticks) of the run to this file")
 	)
 	flag.Parse()
 
@@ -75,7 +76,7 @@ func run() error {
 	defer stop()
 
 	var sess *obs.Session
-	if *trOut != "" || *stats {
+	if *trOut != "" || *stats || *foldOut != "" {
 		sess = obs.NewSession()
 	}
 	rep, err := harness.RunAll(ctx, scale, harness.Options{Workers: *workers, Experiments: ids, Obs: sess})
@@ -119,6 +120,20 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "trace → %s (load in chrome://tracing or ui.perfetto.dev)\n", *trOut)
+	}
+	if *foldOut != "" {
+		f, err := os.Create(*foldOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteFolded(f, obs.FoldedProfile(sess)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "folded stacks → %s (feed to flamegraph.pl)\n", *foldOut)
 	}
 	if *stats {
 		fmt.Print(obs.RenderCounters(true))

@@ -31,9 +31,18 @@ import (
 	"time"
 
 	"vcprof/internal/encoders"
+	"vcprof/internal/obs"
 	"vcprof/internal/service"
+	"vcprof/internal/telemetry"
 	"vcprof/internal/video"
 )
+
+// latHist is the client-side job latency distribution, on the same
+// shared bucket layout as the server's svc.job.latency_ms — the two
+// line up bucket for bucket, so BENCH_pr5.json latency lines are
+// comparable with what the daemon exposes on /metrics. Volatile: it
+// measures wall time.
+var latHist = obs.NewVolatileHistogram("vcload.latency_ms", telemetry.LatencyBucketsMS)
 
 func main() {
 	if err := run(); err != nil {
@@ -102,6 +111,7 @@ func run() error {
 					continue
 				}
 				latencies[i] = time.Since(t0)
+				latHist.Observe(uint64(latencies[i].Milliseconds()))
 				digests[i] = sha256.Sum256(body)
 				if wasCached {
 					cached.Add(1)
@@ -129,7 +139,7 @@ func run() error {
 		done, wall.Seconds(), float64(done)/wall.Seconds(), *conc)
 	fmt.Printf("cached-at-submit %d/%d (%.1f%%), %d retries after 429\n",
 		cached.Load(), done, 100*float64(cached.Load())/float64(done), retried.Load())
-	fmt.Print(renderHistogram(latencies))
+	fmt.Print(telemetry.RenderHistogram(latHist.Snapshot(), "ms"))
 	fmt.Printf("digest %s\n", hex.EncodeToString(h.Sum(nil)))
 
 	if *bench {
@@ -139,6 +149,7 @@ func run() error {
 		p := func(q float64) int64 { return sorted[int(q*float64(len(sorted)-1))].Nanoseconds() }
 		fmt.Printf("BenchmarkServeJob %d %d ns/op\n", done, perJob)
 		fmt.Printf("BenchmarkServeLatencyP50 %d %d ns/op\n", done, p(0.50))
+		fmt.Printf("BenchmarkServeLatencyP95 %d %d ns/op\n", done, p(0.95))
 		fmt.Printf("BenchmarkServeLatencyP99 %d %d ns/op\n", done, p(0.99))
 	}
 	return nil
@@ -294,32 +305,4 @@ func getJSON(client *http.Client, url string) (status, int, error) {
 		return status{}, resp.StatusCode, fmt.Errorf("bad status body: %w", err)
 	}
 	return st, resp.StatusCode, nil
-}
-
-// renderHistogram buckets latencies by powers of two of a millisecond.
-func renderHistogram(lats []time.Duration) string {
-	bounds := []time.Duration{
-		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
-		8 * time.Millisecond, 16 * time.Millisecond, 32 * time.Millisecond,
-		64 * time.Millisecond, 128 * time.Millisecond, 256 * time.Millisecond,
-		512 * time.Millisecond, time.Second,
-	}
-	counts := make([]int, len(bounds)+1)
-	for _, l := range lats {
-		i := sort.Search(len(bounds), func(i int) bool { return l <= bounds[i] })
-		counts[i]++
-	}
-	var b strings.Builder
-	b.WriteString("latency histogram:\n")
-	for i, c := range counts {
-		if c == 0 {
-			continue
-		}
-		label := "   >1s"
-		if i < len(bounds) {
-			label = fmt.Sprintf("%6s", "≤"+bounds[i].String())
-		}
-		fmt.Fprintf(&b, "  %s  %5d  %s\n", label, c, strings.Repeat("#", 1+c*40/len(lats)))
-	}
-	return b.String()
 }

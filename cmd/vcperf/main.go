@@ -1,0 +1,448 @@
+// Command vcperf is the live telemetry console for vcprofd. It speaks
+// only the daemon's public HTTP surface — Prometheus text exposition on
+// /metrics, JSON top-down snapshots, the ring-buffer time series and
+// the folded-stack profile — so everything it shows is equally
+// available to any scraper.
+//
+//	vcperf top                        # live top-down + MPKIs + latency, refreshed
+//	vcperf top -once -assert          # one snapshot; exit 1 unless invariants hold
+//	vcperf top -job <id>              # stream one job's top-down while it runs
+//	vcperf series -window 32          # recent gauge samples from the ring buffer
+//	vcperf flame -o out.folded        # folded stacks (pipe to flamegraph.pl)
+//
+// Exit codes: 0 ok, 1 assertion failed (-assert), 2 usage, 3 the
+// daemon could not be reached or answered malformed data.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"vcprof/internal/obs"
+	"vcprof/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	switch args[0] {
+	case "top":
+		return cmdTop(args[1:])
+	case "series":
+		return cmdSeries(args[1:])
+	case "flame":
+		return cmdFlame(args[1:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "vcperf: unknown subcommand %q\n", args[0])
+	usage()
+	return 2
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: vcperf <top|series|flame> [flags]
+  top     live top-down fractions, MPKIs and latency histograms
+  series  dump the daemon's ring-buffer gauge time series
+  flame   fetch the folded-stack profile (flamegraph.pl input)
+`)
+}
+
+// client is the shared HTTP client: short timeout, since everything
+// vcperf asks for is served from memory.
+var client = &http.Client{Timeout: 10 * time.Second}
+
+func baseURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return addr
+	}
+	return "http://" + addr
+}
+
+func fetch(base, path string) ([]byte, error) {
+	resp, err := client.Get(base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+// ---- top ----
+
+// topdownWire mirrors the server's JSON top-down snapshot.
+type topdownWire struct {
+	ID         string  `json:"id"`
+	State      string  `json:"state"`
+	Retiring   float64 `json:"retiring"`
+	BadSpec    float64 `json:"bad_spec"`
+	Frontend   float64 `json:"frontend"`
+	Backend    float64 `json:"backend"`
+	TotalSlots uint64  `json:"total_slots"`
+	Producers  int     `json:"producers"`
+	Flushes    uint64  `json:"flushes"`
+	Commits    uint64  `json:"commits"`
+}
+
+func cmdTop(args []string) int {
+	fs := flag.NewFlagSet("vcperf top", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8791", "vcprofd address (host:port)")
+	once := fs.Bool("once", false, "print one snapshot and exit instead of refreshing")
+	assert := fs.Bool("assert", false, "check telemetry invariants; exit 1 on violation")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval in live mode")
+	jobID := fs.String("job", "", "stream this job's top-down instead of the process aggregate")
+	fs.Parse(args)
+	base := baseURL(*addr)
+
+	for {
+		snap, err := snapshotTop(base, *jobID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vcperf:", err)
+			return 3
+		}
+		if !*once {
+			fmt.Print("\x1b[H\x1b[2J") // home + clear: cheap full-screen refresh
+		}
+		fmt.Print(snap.render())
+		if *assert {
+			if msgs := snap.check(); len(msgs) > 0 {
+				for _, m := range msgs {
+					fmt.Fprintln(os.Stderr, "vcperf: ASSERT FAILED:", m)
+				}
+				return 1
+			}
+			fmt.Println("asserts ok")
+		}
+		if *once {
+			return 0
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// topSnapshot is one fetched view: the parsed exposition plus the
+// JSON top-down, taken back to back.
+type topSnapshot struct {
+	td      topdownWire
+	scalars map[string]float64
+	hists   map[string]obs.HistogramValue
+}
+
+func snapshotTop(base, jobID string) (*topSnapshot, error) {
+	tdPath := "/v1/telemetry/topdown"
+	if jobID != "" {
+		tdPath = "/v1/jobs/" + jobID + "/topdown"
+	}
+	tdBody, err := fetch(base, tdPath)
+	if err != nil {
+		return nil, err
+	}
+	var td topdownWire
+	if err := json.Unmarshal(tdBody, &td); err != nil {
+		return nil, fmt.Errorf("top-down JSON: %w", err)
+	}
+	metBody, err := fetch(base, "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	scalars, hists, err := parseProm(string(metBody))
+	if err != nil {
+		return nil, err
+	}
+	return &topSnapshot{td: td, scalars: scalars, hists: hists}, nil
+}
+
+func (s *topSnapshot) render() string {
+	var b strings.Builder
+	if s.td.ID != "" {
+		fmt.Fprintf(&b, "job %s (%s)\n", s.td.ID, s.td.State)
+	}
+	fmt.Fprintf(&b, "jobs  submitted %.0f  completed %.0f  failed %.0f  running %.0f  queue %.0f  engine-inflight %.0f\n",
+		s.scalars["vcprof_svc_jobs_submitted"], s.scalars["vcprof_svc_jobs_completed"],
+		s.scalars["vcprof_svc_jobs_failed"], s.scalars["vcprof_svc_jobs_running"],
+		s.scalars["vcprof_svc_queue_depth"], s.scalars["vcprof_svc_engine_inflight"])
+	fmt.Fprintf(&b, "store %.0f objects  cells %.0f entries\n",
+		s.scalars["vcprof_svc_store_objects"], s.scalars["vcprof_svc_cells_entries"])
+
+	b.WriteString("top-down (level 1, streaming)")
+	fmt.Fprintf(&b, "  slots %d  producers %d  flushes %d  commits %d\n",
+		s.td.TotalSlots, s.td.Producers, s.td.Flushes, s.td.Commits)
+	if s.td.TotalSlots == 0 {
+		b.WriteString("  (no slots observed yet)\n")
+	} else {
+		for _, row := range []struct {
+			name string
+			frac float64
+		}{
+			{"retiring", s.td.Retiring}, {"bad-spec", s.td.BadSpec},
+			{"frontend", s.td.Frontend}, {"backend", s.td.Backend},
+		} {
+			bar := strings.Repeat("#", int(row.frac*40+0.5))
+			fmt.Fprintf(&b, "  %-9s %6.2f%%  %s\n", row.name, 100*row.frac, bar)
+		}
+	}
+
+	if insts := s.scalars["vcprof_perf_stat_instructions"]; insts > 0 {
+		mpki := func(name string) float64 { return 1000 * s.scalars[name] / insts }
+		fmt.Fprintf(&b, "MPKI (per perf.stat kilo-instruction)  branch %.2f  l1d %.2f  l2 %.2f  llc %.2f\n",
+			mpki("vcprof_perf_stat_branch_misses"), mpki("vcprof_uarch_cache_l1d_misses"),
+			mpki("vcprof_uarch_cache_l2_misses"), mpki("vcprof_uarch_cache_llc_misses"))
+	}
+	if ops := s.scalars["vcprof_uarch_pipeline_ops"]; ops > 0 {
+		fmt.Fprintf(&b, "pipeline replayer  mispredict MPKI %.2f  IPC %.2f\n",
+			1000*s.scalars["vcprof_uarch_pipeline_mispredicts"]/ops,
+			s.scalars["vcprof_uarch_pipeline_ops"]/nonZero(s.scalars["vcprof_uarch_pipeline_cycles"]))
+	}
+	for _, name := range []string{"vcprof_svc_job_latency_ms", "vcprof_svc_queue_wait_ms"} {
+		if h, ok := s.hists[name]; ok && h.Count > 0 {
+			b.WriteString(telemetry.RenderHistogram(h, "ms"))
+		}
+	}
+	return b.String()
+}
+
+func nonZero(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// check enforces the invariants the smoke test pins mid-run: the four
+// level-1 fractions partition the slot budget (sum 1 ± 0.001 with a
+// non-zero denominator), and the latency histogram's quantiles are
+// monotone (p99 ≥ p50).
+func (s *topSnapshot) check() []string {
+	var msgs []string
+	sum := s.td.Retiring + s.td.BadSpec + s.td.Frontend + s.td.Backend
+	if s.td.TotalSlots == 0 {
+		msgs = append(msgs, "top-down total_slots is 0 (no producer flushed yet)")
+	} else if sum < 0.999 || sum > 1.001 {
+		msgs = append(msgs, fmt.Sprintf("top-down fractions sum to %.6f, want 1.0±0.001", sum))
+	}
+	if s.td.Retiring <= 0 && s.td.TotalSlots > 0 {
+		msgs = append(msgs, "retiring fraction is zero with slots observed")
+	}
+	if h, ok := s.hists["vcprof_svc_job_latency_ms"]; ok && h.Count > 0 {
+		p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+		if p99 < p50 {
+			msgs = append(msgs, fmt.Sprintf("latency p99 %d < p50 %d", p99, p50))
+		}
+	} else {
+		msgs = append(msgs, "no job latency observations")
+	}
+	return msgs
+}
+
+// parseProm reads the subset of the text exposition format the daemon
+// emits: unlabeled counter/gauge samples and conventional histogram
+// series. Histograms come back as obs.HistogramValue (per-bucket
+// counts, not cumulative) so quantile logic is shared with the server.
+func parseProm(text string) (map[string]float64, map[string]obs.HistogramValue, error) {
+	scalars := make(map[string]float64)
+	type hist struct {
+		bounds []uint64
+		cum    []uint64
+		inf    uint64
+		sum    uint64
+	}
+	hists := make(map[string]*hist)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, nil, fmt.Errorf("exposition line %q: no value", line)
+		}
+		if base, le, isBucket := cutBucket(name); isBucket {
+			h, tracked := hists[base]
+			if !tracked {
+				h = &hist{}
+				hists[base] = h
+			}
+			v, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bucket %q: %w", line, err)
+			}
+			if le == "+Inf" {
+				h.inf = v
+			} else {
+				bound, err := strconv.ParseUint(le, 10, 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("bucket bound %q: %w", le, err)
+				}
+				h.bounds = append(h.bounds, bound)
+				h.cum = append(h.cum, v)
+			}
+			continue
+		}
+		if base, okSum := strings.CutSuffix(name, "_sum"); okSum {
+			if h, tracked := hists[base]; tracked {
+				v, err := strconv.ParseUint(rest, 10, 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("sum %q: %w", line, err)
+				}
+				h.sum = v
+				continue
+			}
+		}
+		if base, okCount := strings.CutSuffix(name, "_count"); okCount {
+			if _, tracked := hists[base]; tracked {
+				continue // redundant with the +Inf bucket
+			}
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sample %q: %w", line, err)
+		}
+		scalars[name] = v
+	}
+	out := make(map[string]obs.HistogramValue, len(hists))
+	for name, h := range hists {
+		counts := make([]uint64, len(h.bounds)+1)
+		var prev uint64
+		for i, c := range h.cum {
+			if c < prev {
+				return nil, nil, fmt.Errorf("histogram %s: non-monotone cumulative buckets", name)
+			}
+			counts[i] = c - prev
+			prev = c
+		}
+		if h.inf < prev {
+			return nil, nil, fmt.Errorf("histogram %s: +Inf below last bucket", name)
+		}
+		counts[len(h.bounds)] = h.inf - prev
+		out[name] = obs.HistogramValue{
+			Name:   name,
+			Bounds: h.bounds,
+			Counts: counts,
+			Sum:    h.sum,
+			Count:  h.inf,
+		}
+	}
+	return scalars, out, nil
+}
+
+// cutBucket splits `name_bucket{le="X"}` into (name, X, true).
+func cutBucket(sample string) (base, le string, ok bool) {
+	i := strings.Index(sample, "_bucket{le=\"")
+	if i < 0 {
+		return "", "", false
+	}
+	rest := sample[i+len("_bucket{le=\""):]
+	j := strings.Index(rest, "\"}")
+	if j < 0 {
+		return "", "", false
+	}
+	return sample[:i], rest[:j], true
+}
+
+// ---- series ----
+
+// seriesWire mirrors the server's ring-buffer window JSON.
+type seriesWire struct {
+	Names   []string    `json:"names"`
+	TimesMS []int64     `json:"times_ms"`
+	Samples [][]float64 `json:"samples"`
+}
+
+func cmdSeries(args []string) int {
+	fs := flag.NewFlagSet("vcperf series", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8791", "vcprofd address (host:port)")
+	window := fs.Int("window", 0, "most recent samples to fetch (0 = everything retained)")
+	raw := fs.Bool("raw", false, "dump the JSON window verbatim")
+	fs.Parse(args)
+
+	body, err := fetch(baseURL(*addr), "/v1/telemetry/series?window="+strconv.Itoa(*window))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcperf:", err)
+		return 3
+	}
+	if *raw {
+		os.Stdout.Write(body)
+		return 0
+	}
+	var w seriesWire
+	if err := json.Unmarshal(body, &w); err != nil {
+		fmt.Fprintln(os.Stderr, "vcperf: series JSON:", err)
+		return 3
+	}
+	if len(w.TimesMS) == 0 {
+		fmt.Println("series: no samples yet")
+		return 0
+	}
+	span := time.Duration(w.TimesMS[len(w.TimesMS)-1]-w.TimesMS[0]) * time.Millisecond
+	fmt.Printf("series: %d samples over %s\n", len(w.TimesMS), span)
+	// One row per gauge: the summary reads naturally even with many
+	// gauges, where a column-per-gauge table would wrap.
+	names := append([]string(nil), w.Names...)
+	sort.Strings(names)
+	col := make(map[string]int, len(w.Names))
+	for i, n := range w.Names {
+		col[n] = i
+	}
+	for _, name := range names {
+		c := col[name]
+		first, last := w.Samples[0][c], w.Samples[len(w.Samples)-1][c]
+		min, max := first, first
+		for _, row := range w.Samples {
+			if row[c] < min {
+				min = row[c]
+			}
+			if row[c] > max {
+				max = row[c]
+			}
+		}
+		fmt.Printf("  %-36s first %-12g last %-12g min %-12g max %g\n", name, first, last, min, max)
+	}
+	return 0
+}
+
+// ---- flame ----
+
+func cmdFlame(args []string) int {
+	fs := flag.NewFlagSet("vcperf flame", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8791", "vcprofd address (host:port)")
+	out := fs.String("o", "", "write folded stacks to this file (default stdout)")
+	fs.Parse(args)
+
+	body, err := fetch(baseURL(*addr), "/debug/profile?fold=1")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcperf:", err)
+		return 3
+	}
+	if *out == "" {
+		os.Stdout.Write(body)
+		return 0
+	}
+	if err := os.WriteFile(*out, body, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "vcperf:", err)
+		return 3
+	}
+	fmt.Fprintf(os.Stderr, "folded stacks → %s (feed to flamegraph.pl)\n", *out)
+	return 0
+}

@@ -49,6 +49,7 @@ func run() error {
 		timeout  = flag.Duration("timeout", 2*time.Minute, "default per-job execution budget")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		traceOn  = flag.Bool("trace", false, "record worker spans; export at /debug/trace")
+		sample   = flag.Duration("sample", 250*time.Millisecond, "telemetry time-series sampling interval (0 disables /v1/telemetry/series)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,7 @@ func run() error {
 		DefaultTimeout: *timeout,
 		DrainTimeout:   *drain,
 		Obs:            sess,
+		SampleInterval: *sample,
 	})
 	if err != nil {
 		return err

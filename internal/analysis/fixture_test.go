@@ -104,7 +104,7 @@ func runFixture(t *testing.T, dir string) {
 func TestFixtures(t *testing.T) {
 	for _, dir := range []string{
 		"detnow", "detmaprange", "detrand", "lockheld", "hotalloc", "detenv",
-		"httpctx",
+		"httpctx", "histbuckets",
 	} {
 		t.Run(dir, func(t *testing.T) { runFixture(t, dir) })
 	}
@@ -115,7 +115,7 @@ func TestFixtures(t *testing.T) {
 func TestFixturesFindSomething(t *testing.T) {
 	for _, dir := range []string{
 		"detnow", "detmaprange", "detrand", "lockheld", "hotalloc", "detenv",
-		"httpctx",
+		"httpctx", "histbuckets",
 	} {
 		t.Run(dir, func(t *testing.T) {
 			diags := Run(loadFixture(t, dir), VCProfAnalyzers())

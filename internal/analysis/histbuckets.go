@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// obsPkgPath is the histogram registry package histbuckets keys on.
+const obsPkgPath = "vcprof/internal/obs"
+
+// NewHistBuckets builds the histbuckets analyzer: histogram bucket
+// bounds must be strictly increasing literals, checkable without
+// running anything. obs.NewHistogram panics at init time on a bad
+// layout, but a panic in a rarely-imported package is a runtime
+// discovery; this check moves it to lint time. Two rules, unscoped:
+//
+//  1. A bucket argument to obs.NewHistogram / NewVolatileHistogram
+//     must be a composite literal of strictly increasing constants, a
+//     same-package var initialized with one, or a package-level var
+//     whose name contains "Buckets" (rule 2 vouches for those at
+//     their declaration, wherever they live).
+//  2. Every package-level []uint64 var whose name contains "Buckets"
+//     must be initialized with a strictly increasing constant
+//     literal — the shared layouts in internal/telemetry are checked
+//     once here and may then cross package boundaries freely.
+func NewHistBuckets() *Analyzer {
+	az := &Analyzer{
+		Name: "histbuckets",
+		Doc:  "require strictly increasing literal histogram bucket bounds",
+	}
+	az.Run = func(pass *Pass) {
+		info := pass.TypesInfo()
+		for _, f := range pass.Files() {
+			checkBucketVars(pass, info, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if pkgFuncIn(fn, obsPkgPath, "NewHistogram", "NewVolatileHistogram") && len(call.Args) == 2 {
+					checkBucketArg(pass, info, call.Args[1])
+				}
+				return true
+			})
+		}
+	}
+	return az
+}
+
+// checkBucketVars enforces rule 2 on one file's package-level vars.
+func checkBucketVars(pass *Pass, info *types.Info, f *ast.File) {
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !strings.Contains(name.Name, "Buckets") || !isUintSliceVar(info, name) {
+					continue
+				}
+				if i >= len(vs.Values) {
+					pass.Reportf(name.Pos(),
+						"bucket layout %s has no initializer; give it a strictly increasing literal so callers can rely on it", name.Name)
+					continue
+				}
+				if lit, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit); ok {
+					checkBucketLit(pass, info, lit)
+				} else {
+					pass.Reportf(vs.Values[i].Pos(),
+						"bucket layout %s must be initialized with a composite literal of strictly increasing constants", name.Name)
+				}
+			}
+		}
+	}
+}
+
+// isUintSliceVar reports whether the declared name is a package-level
+// var of an unsigned-integer slice type.
+func isUintSliceVar(info *types.Info, name *ast.Ident) bool {
+	v, ok := info.Defs[name].(*types.Var)
+	if !ok || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	sl, ok := v.Type().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
+}
+
+// checkBucketArg enforces rule 1 on one bucket argument.
+func checkBucketArg(pass *Pass, info *types.Info, arg ast.Expr) {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.CompositeLit:
+		checkBucketLit(pass, info, e)
+	case *ast.Ident:
+		if strings.Contains(e.Name, "Buckets") {
+			return // rule 2 validated (or flagged) the declaration
+		}
+		if lit := localVarLiteral(pass, info, e); lit != nil {
+			checkBucketLit(pass, info, lit)
+			return
+		}
+		pass.Reportf(arg.Pos(),
+			"cannot verify bucket bounds of %s; use a composite literal, a same-package literal var, or a package-level *Buckets* layout", e.Name)
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && strings.Contains(v.Name(), "Buckets") {
+			return // rule 2 validates the layout where it is declared
+		}
+		pass.Reportf(arg.Pos(),
+			"cannot verify imported bucket bounds; share the layout as a package-level *Buckets* var so it is checked at its declaration")
+	default:
+		pass.Reportf(arg.Pos(),
+			"cannot verify computed bucket bounds; histogram layouts must be strictly increasing literals")
+	}
+}
+
+// localVarLiteral finds the composite-literal initializer of a
+// same-package package-level var, or nil.
+func localVarLiteral(pass *Pass, info *types.Info, id *ast.Ident) *ast.CompositeLit {
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != pass.Pkg.Path || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	for _, f := range pass.Files() {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if info.Defs[name] != info.Uses[id] || i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit); ok {
+						return lit
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkBucketLit validates one literal: non-empty, every element a
+// constant, and the sequence strictly increasing.
+func checkBucketLit(pass *Pass, info *types.Info, lit *ast.CompositeLit) {
+	if len(lit.Elts) == 0 {
+		pass.Reportf(lit.Pos(), "empty bucket bound list; a histogram needs at least one finite bucket")
+		return
+	}
+	var prev uint64
+	havePrev := false
+	for _, elt := range lit.Elts {
+		tv, ok := info.Types[elt]
+		if !ok || tv.Value == nil {
+			pass.Reportf(elt.Pos(), "non-constant bucket bound; histogram layouts must be literal so lint can prove them increasing")
+			return
+		}
+		v, ok := constant.Uint64Val(constant.ToInt(tv.Value))
+		if !ok {
+			pass.Reportf(elt.Pos(), "bucket bound does not fit uint64")
+			return
+		}
+		if havePrev && v <= prev {
+			pass.Reportf(elt.Pos(), "bucket bounds not strictly increasing (%d after %d)", v, prev)
+			return
+		}
+		prev, havePrev = v, true
+	}
+}

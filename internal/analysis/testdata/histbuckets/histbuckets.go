@@ -1,0 +1,37 @@
+// Package histbuckets exercises the histbuckets analyzer: bucket
+// layouts must be strictly increasing constant literals, whether they
+// appear inline at a NewHistogram call, behind a same-package var, or
+// as a shared package-level *Buckets* layout.
+package histbuckets
+
+import "vcprof/internal/obs"
+
+// GoodBuckets is a valid shared layout: checked here, usable anywhere.
+var GoodBuckets = []uint64{1, 2, 5, 10, 1 << 8}
+
+var StuckBuckets = []uint64{1, 2, 2, 10} // want `histbuckets: bucket bounds not strictly increasing \(2 after 2\)`
+
+var EmptyBuckets = []uint64{} // want `histbuckets: empty bucket bound list`
+
+var ComputedBuckets = makeBounds() // want `histbuckets: bucket layout ComputedBuckets must be initialized with a composite literal`
+
+// rungs lacks the Buckets opt-in name, so it is only checked when a
+// histogram call actually uses it.
+var rungs = []uint64{4, 8, 16}
+
+var descending = []uint64{9, 1} // want `histbuckets: bucket bounds not strictly increasing \(1 after 9\)`
+
+var (
+	_ = obs.NewHistogram("fixture.inline.good", []uint64{1, 2, 3})
+	_ = obs.NewHistogram("fixture.inline.bad", []uint64{10, 5}) // want `histbuckets: bucket bounds not strictly increasing \(5 after 10\)`
+	_ = obs.NewVolatileHistogram("fixture.layout.good", GoodBuckets)
+	_ = obs.NewHistogram("fixture.localvar.good", rungs)
+	_ = obs.NewHistogram("fixture.localvar.bad", descending) // reported at the declaration above
+	_ = obs.NewHistogram("fixture.computed", makeBounds())   // want `histbuckets: cannot verify computed bucket bounds`
+)
+
+func makeBounds() []uint64 { return []uint64{1, 2} }
+
+func dynamic(n uint64) *obs.Histogram {
+	return obs.NewHistogram("fixture.dynamic", []uint64{n, n + 1}) // want `histbuckets: non-constant bucket bound`
+}

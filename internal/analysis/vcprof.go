@@ -32,6 +32,11 @@ import "fmt"
 //     from r.Context(); a context.Background()/TODO() minted inside a
 //     handler severs client disconnects, per-job deadlines and the
 //     graceful drain from the harness work they should cancel.
+//   - histbuckets: unscoped; histogram bucket layouts passed to
+//     obs.NewHistogram/NewVolatileHistogram (and the shared
+//     *Buckets* layout vars in internal/telemetry) must be strictly
+//     increasing literals, so the registry's init-time panic can
+//     never fire in a shipped binary.
 //
 // Fixture packages under internal/analysis/testdata/<name> opt into the
 // matching analyzer's scope automatically (see pathScope), so the CLI
@@ -65,6 +70,7 @@ func VCProfAnalyzers() []*Analyzer {
 			"vcprof/internal/service",
 			"vcprof/cmd",
 		}),
+		NewHistBuckets(),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"vcprof/internal/obs"
+	"vcprof/internal/telemetry"
 	"vcprof/internal/trace"
 )
 
@@ -52,4 +53,38 @@ func ObserveResult(tr *obs.Trace, res *Result) {
 		return
 	}
 	ObserveFrameStages(tr, res.FrameStages)
+}
+
+// Per-stage encode-tick histograms, one per pipeline stage, keyed by
+// the trace.Stage vocabulary like the span names above. Deterministic:
+// the observed values are per-frame modeled instruction counts, which
+// are thread- and worker-count independent.
+var stageTickHists = func() [trace.NumStages]*obs.Histogram {
+	var a [trace.NumStages]*obs.Histogram
+	for i := range a {
+		a[i] = obs.NewHistogram("encode.stage_ticks."+trace.Stage(i).String(), telemetry.TickBuckets)
+	}
+	return a
+}()
+
+// ObserveStageHistograms records every frame's per-stage instruction
+// counts into the stage histograms. Unlike the span observers this is
+// not session-gated: histograms are registry-wide like counters, so
+// stage distributions accumulate whether or not a trace session is
+// attached. Zero-count stages are skipped, matching the span rule.
+func ObserveStageHistograms(frames []trace.StageCounts) {
+	for i := range frames {
+		for s, n := range frames[i] {
+			if n == 0 {
+				continue
+			}
+			stageTickHists[s].Observe(n)
+		}
+	}
+}
+
+// StageHistogramName returns the registry name of one stage's
+// histogram, for telemetry gauges that track per-stage throughput.
+func StageHistogramName(s trace.Stage) string {
+	return "encode.stage_ticks." + s.String()
 }

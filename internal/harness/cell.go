@@ -161,7 +161,7 @@ func (c Cell) run(ctx context.Context) (CellResult, error) {
 		if err != nil {
 			return CellResult{}, err
 		}
-		res, err := sim.Run(win.Rec.Ops)
+		res, err := sim.RunCtx(ctx, win.Rec.Ops)
 		return CellResult{Pipe: res}, err
 	case CellSchedule:
 		sched, _, err := encoders.ProfileSchedule(ctx, enc, clip, opts)

@@ -14,7 +14,21 @@ import (
 	"time"
 
 	"vcprof/internal/obs"
+	"vcprof/internal/telemetry"
 )
+
+// Cell-acquisition latency (hit: map lookup; miss: the full
+// measurement), in host microseconds — volatile by nature, lives in
+// engine.go because this file is the sanctioned wall-clock layer.
+var obsCellLookup = obs.NewVolatileHistogram("harness.cellcache.lookup_us", telemetry.LookupBucketsUS)
+
+// engineInflight tracks cells currently executing process-wide — the
+// worker-occupancy gauge the daemon's telemetry sampler reads.
+var engineInflight atomic.Int64
+
+// EngineInflight reports how many cell evaluations are in flight right
+// now, across every engine entry point in the process.
+func EngineInflight() int64 { return engineInflight.Load() }
 
 // Plan is an experiment lowered to the engine's form: the cell grid to
 // measure and a pure assembly function that turns the measured results
@@ -126,6 +140,7 @@ func runExperiment(ctx context.Context, e Experiment, s Scale, workers int, sess
 	// Observation happens after the parallel section, on a fresh lane,
 	// walking cells in index order: the trace cannot see scheduling.
 	observeExperiment(sess.Lane(e.ID), e, p.Cells, res)
+	observeStageHistograms(res)
 	tables, err := p.Assemble(s, res)
 	return tables, len(p.Cells), hits, err
 }
@@ -145,7 +160,6 @@ func runCells(ctx context.Context, cells []Cell, workers int) ([]CellResult, int
 	var (
 		wg       sync.WaitGroup
 		hits     atomic.Int64
-		inflight atomic.Int64
 		errMu    sync.Mutex
 		firstErr error
 	)
@@ -168,9 +182,12 @@ submit:
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			obsOccupancyPeak.Max(uint64(inflight.Add(1)))
-			defer inflight.Add(-1)
+			obsOccupancyPeak.Max(uint64(engineInflight.Add(1)))
+			defer engineInflight.Add(-1)
+			//lint:ignore detnow engine progress/timing layer: lookup latency is a volatile histogram, never a table cell
+			t0 := time.Now()
 			r, hit, err := getCell(cctx, cells[i])
+			obsCellLookup.Observe(uint64(time.Since(t0).Microseconds()))
 			if err != nil {
 				fail(fmt.Errorf("cell %s: %w", cells[i], err))
 				return
@@ -211,7 +228,13 @@ func (e Experiment) Run(s Scale) ([]*Table, error) {
 // computation). Cancelling ctx aborts the measurement at the next task
 // boundary; aborted computations are never cached.
 func RunCell(ctx context.Context, c Cell) (CellResult, bool, error) {
-	return getCell(ctx, c)
+	obsOccupancyPeak.Max(uint64(engineInflight.Add(1)))
+	defer engineInflight.Add(-1)
+	//lint:ignore detnow engine progress/timing layer: lookup latency is a volatile histogram, never a table cell
+	t0 := time.Now()
+	r, hit, err := getCell(ctx, c)
+	obsCellLookup.Observe(uint64(time.Since(t0).Microseconds()))
+	return r, hit, err
 }
 
 // RunExperiment executes one registered experiment by ID and returns

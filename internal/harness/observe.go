@@ -67,3 +67,20 @@ func observeExperiment(tr *obs.Trace, e Experiment, cells []Cell, res []CellResu
 	}
 	root.End()
 }
+
+// observeStageHistograms feeds each completed cell's per-frame stage
+// counts into the deterministic encode-stage histograms. Runs after
+// the parallel section like observeExperiment, but is not
+// session-gated: histograms accumulate registry-wide regardless of
+// tracing, and the observed values are modeled counts, so totals stay
+// worker-count independent.
+func observeStageHistograms(res []CellResult) {
+	for _, r := range res {
+		switch {
+		case r.Enc != nil:
+			encoders.ObserveStageHistograms(r.Enc.FrameStages)
+		case r.Stat != nil:
+			encoders.ObserveStageHistograms(r.Stat.FrameStages)
+		}
+	}
+}

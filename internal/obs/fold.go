@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// FoldedLine is one flamegraph.pl-compatible folded-stack row: the
+// semicolon-joined ancestor chain and the exclusive virtual ticks
+// attributed to exactly that chain.
+type FoldedLine struct {
+	Stack string
+	Ticks uint64
+}
+
+// FoldedProfile derives folded stacks from the recorded span trees of
+// the given sessions. Every span contributes its exclusive ticks
+// (inclusive minus ticks covered by children) to the stack named by
+// its ancestor chain, and identical chains aggregate across lanes and
+// sessions. Because span trees are recorded against the virtual-tick
+// clock, the folded output is deterministic for deterministic runs —
+// the continuous profiler needs no wall-clock sampler, it replays the
+// clock the traces already carry. Zero-tick stacks are dropped (they
+// would render as empty frames). Lines are sorted by stack string.
+func FoldedProfile(sessions ...*Session) []FoldedLine {
+	acc := make(map[string]uint64)
+	for _, s := range sessions {
+		for _, ln := range s.snapshot() {
+			foldLane(ln.tr, acc)
+		}
+	}
+	out := make([]FoldedLine, 0, len(acc))
+	for stack, ticks := range acc {
+		out = append(out, FoldedLine{Stack: stack, Ticks: ticks})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stack < out[j].Stack })
+	return out
+}
+
+func foldLane(tr *Trace, acc map[string]uint64) {
+	if tr == nil || len(tr.spans) == 0 {
+		return
+	}
+	spans := tr.spans
+	childSum := make([]uint64, len(spans))
+	for _, r := range spans {
+		if r.parent >= 0 {
+			childSum[r.parent] += r.dur
+		}
+	}
+	// Records are append-only, so a span's parent always precedes it
+	// and one forward pass can build every ancestor path.
+	paths := make([]string, len(spans))
+	for i, r := range spans {
+		if r.parent < 0 {
+			paths[i] = nameString(r.name)
+		} else {
+			paths[i] = paths[r.parent] + ";" + nameString(r.name)
+		}
+		if excl := r.dur - childSum[i]; excl > 0 {
+			acc[paths[i]] += excl
+		}
+	}
+}
+
+// WriteFolded writes the lines in flamegraph.pl input format:
+// "stack;frames count\n" per row.
+func WriteFolded(w io.Writer, lines []FoldedLine) error {
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(w, "%s %d\n", l.Stack, l.Ticks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProfileOf aggregates the flat self-profile across several sessions
+// (see Session.Profile). The daemon uses it to merge its long-lived
+// worker board with the per-job sessions adopted after each traced
+// job completes.
+func ProfileOf(sessions ...*Session) []ProfileRow {
+	acc := make(map[NameID]*ProfileRow)
+	var order []NameID
+	for _, s := range sessions {
+		for _, ln := range s.snapshot() {
+			spans := ln.tr.spans
+			childSum := make([]uint64, len(spans))
+			for _, r := range spans {
+				if r.parent >= 0 {
+					childSum[r.parent] += r.dur
+				}
+			}
+			for i, r := range spans {
+				row := acc[r.name]
+				if row == nil {
+					row = &ProfileRow{Name: nameString(r.name)}
+					acc[r.name] = row
+					order = append(order, r.name)
+				}
+				row.Count++
+				row.Incl += r.dur
+				row.Excl += r.dur - childSum[i]
+			}
+		}
+	}
+	rows := make([]ProfileRow, 0, len(order))
+	for _, id := range order {
+		rows = append(rows, *acc[id])
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Incl != rows[j].Incl {
+			return rows[i].Incl > rows[j].Incl
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}

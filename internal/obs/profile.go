@@ -2,7 +2,6 @@ package obs
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -20,41 +19,7 @@ type ProfileRow struct {
 // Profile aggregates every lane of the session into per-name rows
 // sorted by inclusive ticks (descending, name as tie-break), so the
 // output is deterministic for deterministic traces.
-func (s *Session) Profile() []ProfileRow {
-	acc := make(map[NameID]*ProfileRow)
-	var order []NameID
-	for _, ln := range s.snapshot() {
-		spans := ln.tr.spans
-		childSum := make([]uint64, len(spans))
-		for _, r := range spans {
-			if r.parent >= 0 {
-				childSum[r.parent] += r.dur
-			}
-		}
-		for i, r := range spans {
-			row := acc[r.name]
-			if row == nil {
-				row = &ProfileRow{Name: nameString(r.name)}
-				acc[r.name] = row
-				order = append(order, r.name)
-			}
-			row.Count++
-			row.Incl += r.dur
-			row.Excl += r.dur - childSum[i]
-		}
-	}
-	rows := make([]ProfileRow, 0, len(order))
-	for _, id := range order {
-		rows = append(rows, *acc[id])
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Incl != rows[j].Incl {
-			return rows[i].Incl > rows[j].Incl
-		}
-		return rows[i].Name < rows[j].Name
-	})
-	return rows
-}
+func (s *Session) Profile() []ProfileRow { return ProfileOf(s) }
 
 // RenderProfile returns the aligned top-N self-profile table. topN <= 0
 // means all rows.

@@ -110,11 +110,19 @@ func Stat(ctx context.Context, enc encoders.Encoder, clip *video.Clip, opts enco
 	tc.AttachBranchSink(mon)
 	tc.AttachBranchSink(taken)
 	tc.AttachMemSink(&memSink{h: hier})
+	// Streaming top-down: attached last so each flush sees the monitors
+	// already updated for the triggering branch. Disabled (nil producer)
+	// unless the context carries accumulators.
+	prod := topdown.StartProducer(ctx)
+	if prod != nil {
+		tc.AttachBranchSink(&tdFlusher{prod: prod, tc: tc, mon: mon, taken: taken, hier: hier})
+	}
 
 	opts.Threads = 1
 	opts.NewWorkerCtx = func(int) *trace.Ctx { return tc }
 	res, err := enc.Encode(ctx, clip, opts)
 	if err != nil {
+		prod.Abort()
 		return nil, err
 	}
 
@@ -143,26 +151,18 @@ func Stat(ctx context.Context, enc encoders.Encoder, clip *video.Clip, opts enco
 	if cyc > 0 {
 		c.IPC = float64(res.Insts) / float64(cyc)
 	}
-	td, err := topdown.FromCounters(topdown.Counters{
-		Instructions:          res.Insts,
-		Cycles:                cyc,
-		Width:                 4,
-		BranchMispredicts:     mon.Mispredict,
-		MispredictPenalty:     20,
-		L1DMisses:             hier.L1.Stats().Misses,
-		L2Misses:              hier.L2.Stats().Misses,
-		LLCMisses:             hier.LLC.Stats().Misses,
-		L1DLat:                8,
-		L2Lat:                 26,
-		LLCLat:                182,
-		FrontendStallCycles:   fe * 2 / 3, // redirect bubbles (latency)
-		FrontendBWStallCycles: fe / 3,     // fetch-group breaks (bandwidth)
-		CoreStallCycles:       core,
-	})
+	td, err := topdown.FromCounters(statCounters(res.Insts, cyc, mon.Mispredict, fe, core, hier))
 	if err != nil {
+		prod.Abort()
 		return nil, err
 	}
 	c.TopDown = td
+	prod.Commit(slotsOf(td, cyc*4))
+	obsStatRuns.Add(1)
+	obsStatInstructions.Add(res.Insts)
+	obsStatCycles.Add(cyc)
+	obsStatBranches.Add(mon.Branches)
+	obsStatBranchMisses.Add(mon.Mispredict)
 	return c, nil
 }
 

@@ -1,0 +1,109 @@
+package perf
+
+import (
+	"vcprof/internal/obs"
+	"vcprof/internal/trace"
+	"vcprof/internal/uarch/bpred"
+	"vcprof/internal/uarch/cache"
+	"vcprof/internal/uarch/topdown"
+)
+
+// Deterministic counters for the perf-stat façade, mirroring the
+// pipeline replayer's: one Stat run contributes once, at completion.
+// vcperf derives live MPKIs from these plus the uarch cache counters.
+var (
+	obsStatRuns         = obs.NewCounter("perf.stat.runs")
+	obsStatInstructions = obs.NewCounter("perf.stat.instructions")
+	obsStatCycles       = obs.NewCounter("perf.stat.cycles")
+	obsStatBranches     = obs.NewCounter("perf.stat.branches")
+	obsStatBranchMisses = obs.NewCounter("perf.stat.branch_misses")
+)
+
+// tdFlushEvery is the streaming granularity of the perf façade: every
+// this many dynamic branches the flusher recomputes the provisional
+// top-down from the live monitors. Branches are a few percent of the
+// mix, so this is on the order of a million instructions per flush —
+// frequent against encode runtimes, invisible against sink costs.
+const tdFlushEvery = 1 << 13
+
+// tdFlusher is a BranchSink that streams provisional top-down
+// snapshots mid-encode. fig5/fig16-class cells measure through
+// perf.Stat (not the pipeline replayer), so live top-down for them
+// must come from here: the flusher reapplies the same cycle model and
+// Yasin formulas the final result uses, over the counters accumulated
+// so far, and pushes the cumulative snapshot to the run's producer.
+// It runs on the encode goroutine (Stat forces Threads=1), so reading
+// the live monitors is race-free.
+type tdFlusher struct {
+	prod  *topdown.Producer
+	tc    *trace.Ctx
+	mon   *bpred.Monitor
+	taken *takenCounter
+	hier  *cache.Hierarchy
+	n     uint64
+}
+
+func (f *tdFlusher) Branch(_ trace.PC, _ bool) {
+	f.n++
+	if f.n%tdFlushEvery != 0 {
+		return
+	}
+	f.flush()
+}
+
+func (f *tdFlusher) flush() {
+	insts := f.tc.Total()
+	if insts == 0 {
+		return
+	}
+	cyc, fe, core := cycleModel(insts, &f.tc.Mix, f.mon.Mispredict, f.taken.taken, f.hier)
+	td, err := topdown.FromCounters(statCounters(insts, cyc, f.mon.Mispredict, fe, core, f.hier))
+	if err != nil {
+		return
+	}
+	f.prod.Observe(slotsOf(td, cyc*4))
+}
+
+// statCounters builds the topdown.Counters the façade feeds Yasin's
+// formulas — one definition shared by the final result and every
+// mid-run flush, so the stream converges to the reported breakdown.
+func statCounters(insts, cyc, mispredicts, fe, core uint64, hier *cache.Hierarchy) topdown.Counters {
+	return topdown.Counters{
+		Instructions:          insts,
+		Cycles:                cyc,
+		Width:                 4,
+		BranchMispredicts:     mispredicts,
+		MispredictPenalty:     20,
+		L1DMisses:             hier.L1.Stats().Misses,
+		L2Misses:              hier.L2.Stats().Misses,
+		LLCMisses:             hier.LLC.Stats().Misses,
+		L1DLat:                8,
+		L2Lat:                 26,
+		LLCLat:                182,
+		FrontendStallCycles:   fe * 2 / 3, // redirect bubbles (latency)
+		FrontendBWStallCycles: fe / 3,     // fetch-group breaks (bandwidth)
+		CoreStallCycles:       core,
+	}
+}
+
+// slotsOf converts a breakdown back into absolute slots over the given
+// total, clamping cumulatively so the classes always partition it.
+func slotsOf(b topdown.Breakdown, total uint64) topdown.Slots {
+	sl := topdown.Slots{Total: total}
+	sl.Retiring = clampSlots(b.Retiring, total, total)
+	sl.BadSpec = clampSlots(b.BadSpec, total, total-sl.Retiring)
+	sl.Frontend = clampSlots(b.Frontend, total, total-sl.Retiring-sl.BadSpec)
+	sl.Backend = total - sl.Retiring - sl.BadSpec - sl.Frontend
+	return sl
+}
+
+func clampSlots(frac float64, total, rem uint64) uint64 {
+	if frac <= 0 {
+		return 0
+	}
+	n := uint64(frac * float64(total))
+	if n > rem {
+		n = rem
+	}
+	return n
+}

@@ -1,6 +1,9 @@
 package service
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Job lifecycle states, as reported by GET /v1/jobs/{id}.
 const (
@@ -20,6 +23,10 @@ type job struct {
 	spec JobSpec
 	key  string
 	seq  uint64 // queue arrival order, assigned by queue.push
+	// enqueuedAt stamps admission for the queue-wait histogram —
+	// telemetry only, never part of the result document. Written once
+	// at construction, before the job is published to the queue.
+	enqueuedAt time.Time
 
 	state  string
 	errMsg string
@@ -27,7 +34,7 @@ type job struct {
 }
 
 func newJob(spec JobSpec) *job {
-	return &job{spec: spec, key: spec.Key(), state: StateQueued, done: make(chan struct{})}
+	return &job{spec: spec, key: spec.Key(), state: StateQueued, done: make(chan struct{}), enqueuedAt: time.Now()}
 }
 
 // jobShards is the stripe count of the in-flight table. Keys are

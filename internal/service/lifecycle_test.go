@@ -76,7 +76,15 @@ func getStatus(t *testing.T, base, id string) (jobStatus, int) {
 
 func pollDone(t *testing.T, base, id string) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Minute)
+	pollDoneWithin(t, base, id, 2*time.Minute)
+}
+
+// pollDoneWithin is pollDone with an explicit completion budget, for
+// tests that drive experiment jobs (an order of magnitude more compute
+// than an encode job, and another order slower under -race).
+func pollDoneWithin(t *testing.T, base, id string, budget time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(budget)
 	for time.Now().Before(deadline) {
 		st, code := getStatus(t, base, id)
 		if code != http.StatusOK {
@@ -417,10 +425,19 @@ func TestMetricsRenders(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	text := string(body)
-	for _, want := range []string{"svc.jobs.submitted", "svc.store.put_bytes", "queue.depth", "store.objects"} {
+	for _, want := range []string{
+		"# TYPE vcprof_svc_jobs_submitted counter",
+		"vcprof_svc_jobs_submitted 1",
+		"vcprof_svc_store_put_bytes",
+		"vcprof_svc_queue_depth",
+		"vcprof_svc_store_objects 1",
+	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type %q not Prometheus text v0.0.4", ct)
 	}
 }
 

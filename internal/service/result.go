@@ -8,6 +8,7 @@ import (
 
 	"vcprof/internal/encoders"
 	"vcprof/internal/harness"
+	"vcprof/internal/obs"
 )
 
 // JobResult is the stored (and served) outcome of a job. Output is the
@@ -48,19 +49,36 @@ func DecodeResult(data []byte) (*JobResult, error) {
 // call it through the daemon, tests call it directly to pin that the
 // served bytes match an in-process run.
 func Execute(ctx context.Context, spec *JobSpec) (*JobResult, error) {
-	out, err := executeOutput(ctx, spec)
+	return ExecuteObserved(ctx, spec, nil)
+}
+
+// ExecuteObserved is Execute with an optional per-job span session:
+// when sess is non-nil the job's frame/stage (or experiment) spans
+// land on fresh lanes of it, for adoption into the daemon's profile
+// after completion. Observation never touches the result document —
+// the returned bytes are identical for any sess, which is what keeps
+// result digests stable with telemetry on or off.
+func ExecuteObserved(ctx context.Context, spec *JobSpec, sess *obs.Session) (*JobResult, error) {
+	out, err := executeOutput(ctx, spec, sess)
 	if err != nil {
 		return nil, err
 	}
 	return &JobResult{Key: spec.Key(), Spec: *spec, Output: out}, nil
 }
 
-func executeOutput(ctx context.Context, spec *JobSpec) (string, error) {
+func executeOutput(ctx context.Context, spec *JobSpec, sess *obs.Session) (string, error) {
 	switch spec.Kind {
 	case KindEncode:
 		res, _, err := harness.RunCell(ctx, spec.cell())
 		if err != nil {
 			return "", err
+		}
+		// Stage histograms accumulate per served job (cache hits
+		// included): the serving-layer view of stage time, matching how
+		// the engine observes per experiment run.
+		encoders.ObserveStageHistograms(res.Enc.FrameStages)
+		if sess != nil {
+			encoders.ObserveResult(sess.Lane("encode/"+string(spec.Family)), res.Enc)
 		}
 		return renderEncode(spec, res.Enc), nil
 	case KindExperiment:
@@ -68,7 +86,7 @@ func executeOutput(ctx context.Context, spec *JobSpec) (string, error) {
 		if spec.Quick {
 			scale = harness.QuickScale()
 		}
-		rep, err := harness.RunExperiment(ctx, spec.Experiment, scale, 1, nil)
+		rep, err := harness.RunExperiment(ctx, spec.Experiment, scale, 1, sess)
 		if err != nil {
 			return "", err
 		}

@@ -5,12 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"vcprof/internal/harness"
 	"vcprof/internal/obs"
+	"vcprof/internal/telemetry"
 )
 
 // Config sizes a Server. Zero values select the defaults noted inline.
@@ -27,8 +28,18 @@ type Config struct {
 	// they abort at the next task boundary (default 10s).
 	DrainTimeout time.Duration
 	// Obs, when non-nil, receives one span lane per worker plus the
-	// service counters; /debug/trace exports it. nil disables tracing.
+	// service counters; /debug/trace exports it, and each traced job
+	// gets its own session folded into /debug/profile afterwards. nil
+	// disables tracing.
 	Obs *obs.Session
+	// SampleInterval is the telemetry sampler tick: every interval one
+	// gauge snapshot row lands in the ring-buffer series behind
+	// /v1/telemetry/series. Zero disables sampling (the endpoint then
+	// reports 404) — sampling is strictly read-only, so results are
+	// byte-identical either way.
+	SampleInterval time.Duration
+	// SeriesCap bounds the ring buffer (default 1024 samples).
+	SeriesCap int
 }
 
 func (c *Config) fill() {
@@ -44,6 +55,9 @@ func (c *Config) fill() {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.SeriesCap < 1 {
+		c.SeriesCap = 1024
+	}
 }
 
 // Server is the vcprofd core: admission control, the job table, the
@@ -56,11 +70,16 @@ type Server struct {
 	q     *queue
 	jobs  *jobTable
 	board *traceBoard
+	tele  *teleBoard
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 	draining   atomic.Bool
+
+	samplerStop chan struct{}
+	samplerOnce sync.Once
+	samplerWG   sync.WaitGroup
 }
 
 // NewServer opens the store and builds a stopped server; Start launches
@@ -76,22 +95,53 @@ func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		store: store,
-		q:     newQueue(cfg.QueueCap),
-		jobs:  newJobTable(),
-		board: newTraceBoard(cfg.Obs, cfg.Workers),
+		cfg:         cfg,
+		store:       store,
+		q:           newQueue(cfg.QueueCap),
+		jobs:        newJobTable(),
+		board:       newTraceBoard(cfg.Obs, cfg.Workers),
+		samplerStop: make(chan struct{}),
 	}
+	s.tele = newTeleBoard(s, cfg.SeriesCap)
 	s.baseCtx, s.baseCancel = context.WithCancel(ctx)
 	return s, nil
 }
 
-// Start launches the worker pool.
+// Start launches the worker pool and, when configured, the telemetry
+// sampler.
 func (s *Server) Start() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker(i)
 	}
+	if s.cfg.SampleInterval > 0 {
+		s.samplerWG.Add(1)
+		go s.sampleLoop()
+	}
+}
+
+// sampleLoop appends one gauge row per tick until shutdown. It lives
+// outside the worker WaitGroup: the drain waits for jobs, not for the
+// sampler, which stops via its own channel the moment Shutdown begins.
+func (s *Server) sampleLoop() {
+	defer s.samplerWG.Done()
+	t := time.NewTicker(s.cfg.SampleInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.samplerStop:
+			return
+		case <-s.baseCtx.Done():
+			return
+		case now := <-t.C:
+			s.tele.series.Sample(now.UnixMilli())
+		}
+	}
+}
+
+func (s *Server) stopSampler() {
+	s.samplerOnce.Do(func() { close(s.samplerStop) })
+	s.samplerWG.Wait()
 }
 
 // Store exposes the result store (read-side: tests and vcprofd stats).
@@ -104,6 +154,7 @@ func (s *Server) Store() *Store { return s.store }
 // resumes with the same LRU order. Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.stopSampler()
 	s.q.close()
 	done := make(chan struct{})
 	go func() {
@@ -133,8 +184,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/topdown", s.handleJobTopdown)
+	mux.HandleFunc("GET /v1/telemetry/topdown", s.handleTopdown)
+	mux.HandleFunc("GET /v1/telemetry/series", s.handleSeries)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	mux.HandleFunc("GET /debug/profile", s.handleProfile)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -251,19 +306,102 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, "no result for %q", id)
 }
 
+// handleMetrics renders the Prometheus text exposition v0.0.4 over the
+// obs registry plus the server's instantaneous gauges (including SLO
+// quantiles from the latency histograms). Every family is sorted by
+// name and no timestamps are emitted, so equal registry/store states
+// expose equal bytes — across worker counts and warm restarts alike.
+// ?volatile=0 narrows to the deterministic subset (counters and
+// histograms only), the form golden tests pin.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	opts := telemetry.PromOptions{IncludeVolatile: r.URL.Query().Get("volatile") != "0"}
+	if opts.IncludeVolatile {
+		opts.Gauges = s.gaugeSamples()
+	}
+	if err := telemetry.WriteProm(w, opts); err != nil {
+		return
+	}
+}
+
+// handleJobTopdown streams the per-job top-down: while the job runs,
+// fractions come from the producers' provisional mid-run snapshots;
+// after completion they settle to the committed totals.
+func (s *Server) handleJobTopdown(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	acc, ok := s.tele.findJobAcc(id)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			"no telemetry for job %q (never executed here: unknown, cached at submit, or evicted)", id)
+		return
+	}
+	wire := topdownOf(acc.Snapshot())
+	wire.ID = id
+	wire.State = s.jobState(id)
+	writeJSON(w, http.StatusOK, wire)
+}
+
+// jobState reports a job's lifecycle state for telemetry responses.
+func (s *Server) jobState(id string) string {
+	if j, ok := s.jobs.get(id); ok {
+		state, _ := s.jobs.snapshot(j)
+		return state
+	}
+	if s.store.Contains(id) {
+		return StateDone
+	}
+	return "unknown"
+}
+
+// handleTopdown serves the process-wide aggregate: every job's
+// committed slots plus all in-flight producers.
+func (s *Server) handleTopdown(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, topdownOf(s.tele.agg.Snapshot()))
+}
+
+// handleSeries serves the last ?window= samples of the ring-buffer
+// time series (all of them by default), oldest first.
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.SampleInterval <= 0 {
+		writeError(w, http.StatusNotFound, "telemetry sampling disabled (start vcprofd with -sample)")
+		return
+	}
+	n := 0
+	if v := r.URL.Query().Get("window"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 0 {
+			writeError(w, http.StatusBadRequest, "bad window %q", v)
+			return
+		}
+		n = p
+	}
+	writeJSON(w, http.StatusOK, s.tele.series.Window(n))
+}
+
+// handleProfile serves the continuous self-profile accumulated from
+// the worker lanes plus every adopted per-job session: the flat
+// aligned table by default, flamegraph.pl folded-stack lines with
+// ?fold=1. Spans advance on the virtual-tick clock, so the profile
+// needs no wall-clock sampler and is exact, not statistical.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if !s.board.enabled() {
+		writeError(w, http.StatusNotFound, "tracing disabled (start vcprofd with -trace)")
+		return
+	}
+	fold := r.URL.Query().Get("fold") == "1"
+	topN := 30
+	if v := r.URL.Query().Get("top"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad top %q", v)
+			return
+		}
+		topN = p
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, obs.RenderCounters(true))
-	st := s.store.Stats()
-	cc := harness.CellCacheStats()
-	fmt.Fprintf(w, "-- service --\n")
-	fmt.Fprintf(w, "queue.depth     %d\n", s.q.depth())
-	fmt.Fprintf(w, "store.objects   %d\n", st.Objects)
-	fmt.Fprintf(w, "store.bytes     %d\n", st.Bytes)
-	fmt.Fprintf(w, "store.cap       %d\n", st.Cap)
-	fmt.Fprintf(w, "cells.hits      %d\n", cc.Hits)
-	fmt.Fprintf(w, "cells.misses    %d\n", cc.Misses)
-	fmt.Fprintf(w, "cells.entries   %d\n", cc.Entries)
+	if err := s.board.writeProfile(w, fold, topN); err != nil {
+		return
+	}
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,166 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"vcprof/internal/encoders"
+	"vcprof/internal/harness"
+	"vcprof/internal/obs"
+	"vcprof/internal/telemetry"
+	"vcprof/internal/trace"
+	"vcprof/internal/uarch/topdown"
+)
+
+// Serving-layer latency histograms. Volatile: both measure host time,
+// which no byte-compared export may contain. The bucket layout is the
+// shared one, so vcload's client-side distribution lines up bucket for
+// bucket with these.
+var (
+	obsJobLatencyMS = obs.NewVolatileHistogram("svc.job.latency_ms", telemetry.LatencyBucketsMS)
+	obsQueueWaitMS  = obs.NewVolatileHistogram("svc.queue.wait_ms", telemetry.LatencyBucketsMS)
+)
+
+// maxJobAccumulators bounds the per-job top-down retention: the oldest
+// job's accumulator is dropped once the table exceeds this, matching
+// the job table's own forget-when-done philosophy but keeping recently
+// finished jobs queryable.
+const maxJobAccumulators = 512
+
+// teleBoard owns the serving layer's live telemetry: the process
+// aggregate and per-job streaming top-down accumulators, the running
+// job gauge and the ring-buffer time series the sampler feeds. The
+// immutable pointers (agg, series) are set once at construction; only
+// the per-job table mutates, behind its own lock.
+type teleBoard struct {
+	agg     *topdown.Accumulator
+	series  *telemetry.Series
+	running atomic.Int64
+	jobs    jobAccTable
+}
+
+// jobAccTable maps job keys to their streaming accumulators with
+// bounded insertion-order retention.
+type jobAccTable struct {
+	mu    sync.Mutex
+	m     map[string]*topdown.Accumulator
+	order []string
+}
+
+func newTeleBoard(s *Server, seriesCap int) *teleBoard {
+	b := &teleBoard{agg: topdown.NewAccumulator()}
+	b.series = telemetry.NewSeries(seriesCap, seriesGauges(s, b))
+	return b
+}
+
+// seriesGauges is the sampled gauge set: queue depth, worker
+// occupancy (running jobs and in-flight engine cells), store size,
+// cell-cache size, and per-encoder-stage throughput (cumulative stage
+// ticks; the derivative across samples is the live stage throughput).
+func seriesGauges(s *Server, b *teleBoard) []telemetry.Gauge {
+	gs := []telemetry.Gauge{
+		{Name: "svc.queue.depth", Sample: func() float64 { return float64(s.q.depth()) }},
+		{Name: "svc.jobs.running", Sample: func() float64 { return float64(b.running.Load()) }},
+		{Name: "svc.engine.inflight", Sample: func() float64 { return float64(harness.EngineInflight()) }},
+		{Name: "svc.store.objects", Sample: func() float64 { return float64(s.store.Stats().Objects) }},
+		{Name: "svc.store.bytes", Sample: func() float64 { return float64(s.store.Stats().Bytes) }},
+		{Name: "svc.cells.entries", Sample: func() float64 { return float64(harness.CellCacheStats().Entries) }},
+	}
+	for st := trace.Stage(0); st < trace.NumStages; st++ {
+		h := obs.FindHistogram(encoders.StageHistogramName(st))
+		gs = append(gs, telemetry.Gauge{
+			Name:   encoders.StageHistogramName(st) + ".sum",
+			Sample: func() float64 { return float64(h.Sum()) },
+		})
+	}
+	return gs
+}
+
+// jobAcc returns (creating if needed) the accumulator streaming job
+// key's top-down. Creation evicts the oldest tracked job beyond the
+// retention bound.
+func (b *teleBoard) jobAcc(key string) *topdown.Accumulator { return b.jobs.acc(key) }
+
+// findJobAcc looks a job's accumulator up without creating one.
+func (b *teleBoard) findJobAcc(key string) (*topdown.Accumulator, bool) { return b.jobs.find(key) }
+
+func (t *jobAccTable) acc(key string) *topdown.Accumulator {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if acc, ok := t.m[key]; ok {
+		return acc
+	}
+	if t.m == nil {
+		t.m = make(map[string]*topdown.Accumulator)
+	}
+	acc := topdown.NewAccumulator()
+	t.m[key] = acc
+	t.order = append(t.order, key)
+	for len(t.order) > maxJobAccumulators {
+		delete(t.m, t.order[0])
+		t.order = t.order[1:]
+	}
+	return acc
+}
+
+func (t *jobAccTable) find(key string) (*topdown.Accumulator, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	acc, ok := t.m[key]
+	return acc, ok
+}
+
+// gaugeSamples reads every gauge once for /metrics exposition: the
+// sampled series gauges plus the SLO quantiles derived from the
+// latency histograms.
+func (s *Server) gaugeSamples() []telemetry.GaugeSample {
+	var out []telemetry.GaugeSample
+	for _, g := range seriesGauges(s, s.tele) {
+		out = append(out, telemetry.GaugeSample{Name: g.Name, Value: g.Sample()})
+	}
+	out = append(out, telemetry.GaugeSample{Name: "svc.store.cap", Value: float64(s.store.Stats().Cap)})
+	for _, h := range []*obs.Histogram{obsJobLatencyMS, obsQueueWaitMS} {
+		hv := h.Snapshot()
+		for _, q := range []struct {
+			suffix string
+			q      float64
+		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+			out = append(out, telemetry.GaugeSample{
+				Name:  hv.Name + "." + q.suffix,
+				Value: float64(hv.Quantile(q.q)),
+			})
+		}
+	}
+	return out
+}
+
+// topdownWire is the JSON form of a top-down snapshot. Fractions are
+// level-1 and sum to 1 whenever total_slots > 0.
+type topdownWire struct {
+	ID         string  `json:"id,omitempty"`
+	State      string  `json:"state,omitempty"`
+	Retiring   float64 `json:"retiring"`
+	BadSpec    float64 `json:"bad_spec"`
+	Frontend   float64 `json:"frontend"`
+	Backend    float64 `json:"backend"`
+	TotalSlots uint64  `json:"total_slots"`
+	Producers  int     `json:"producers"`
+	Flushes    uint64  `json:"flushes"`
+	Commits    uint64  `json:"commits"`
+}
+
+func topdownOf(snap topdown.Snapshot) topdownWire {
+	w := topdownWire{
+		TotalSlots: snap.Total,
+		Producers:  snap.Producers,
+		Flushes:    snap.Flushes,
+		Commits:    snap.Commits,
+	}
+	if b, err := snap.Level1(); err == nil {
+		w.Retiring = b.Retiring
+		w.BadSpec = b.BadSpec
+		w.Frontend = b.Frontend
+		w.Backend = b.Backend
+	}
+	return w
+}

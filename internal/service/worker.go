@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vcprof/internal/obs"
+	"vcprof/internal/uarch/topdown"
 )
 
 // worker is one pool goroutine: pop, execute, publish, repeat. It exits
@@ -26,7 +27,12 @@ func (s *Server) worker(idx int) {
 
 // runJob executes one job under its deadline and publishes the outcome:
 // result bytes into the store (then the job is marked done and
-// untracked), or the error onto the job record.
+// untracked), or the error onto the job record. Telemetry rides
+// alongside: queue-wait and latency histograms, the running-jobs
+// gauge, streaming top-down accumulators (per-job and aggregate) on
+// the context, and — when tracing — a per-job span session adopted
+// into the board afterwards. All of it observes; none of it feeds the
+// result bytes, which stay identical with telemetry on or off.
 func (s *Server) runJob(idx int, j *job) {
 	// A twin submitted, computed and stored while this one waited in
 	// the queue satisfies it for free.
@@ -35,13 +41,27 @@ func (s *Server) runJob(idx int, j *job) {
 		s.jobs.setState(j, StateDone, "")
 		return
 	}
+	if !j.enqueuedAt.IsZero() {
+		obsQueueWaitMS.Observe(uint64(time.Since(j.enqueuedAt).Milliseconds()))
+	}
+	s.tele.running.Add(1)
+	defer s.tele.running.Add(-1)
 	s.jobs.setState(j, StateRunning, "")
 	timeout := s.cfg.DefaultTimeout
 	if t := time.Duration(j.spec.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
 		timeout = t
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
-	res, err := Execute(ctx, &j.spec)
+	ctx = topdown.WithAccumulator(ctx, s.tele.jobAcc(j.key))
+	ctx = topdown.WithAccumulator(ctx, s.tele.agg)
+	var jobSess *obs.Session
+	if s.board.enabled() {
+		jobSess = obs.NewSession()
+	}
+	start := time.Now()
+	res, err := ExecuteObserved(ctx, &j.spec, jobSess)
+	obsJobLatencyMS.Observe(uint64(time.Since(start).Milliseconds()))
+	s.board.adopt(jobSess)
 	cancel()
 	if err != nil {
 		obsJobsFailed.Add(1)
@@ -70,9 +90,15 @@ func (s *Server) runJob(idx int, j *job) {
 type traceBoard struct {
 	sess *obs.Session // nil = tracing disabled
 
-	mu    sync.Mutex
-	lanes []*obs.Trace
+	mu      sync.Mutex
+	lanes   []*obs.Trace
+	adopted []*obs.Session // completed per-job sessions, bounded ring
 }
+
+// maxAdoptedSessions bounds the per-job sessions the profile
+// aggregates; beyond it the oldest traced job falls out of the
+// profile, keeping daemon memory flat under sustained traffic.
+const maxAdoptedSessions = 256
 
 func newTraceBoard(sess *obs.Session, workers int) *traceBoard {
 	if sess == nil {
@@ -117,4 +143,36 @@ func (b *traceBoard) export(w io.Writer) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return obs.WriteChromeTrace(w, b.sess)
+}
+
+// adopt takes ownership of a completed job's span session. Sessions
+// are adopted only after the job finishes — a live session must never
+// be visible to exports, since Traces are single-goroutine — and from
+// then on they are immutable profile inputs.
+func (b *traceBoard) adopt(sess *obs.Session) {
+	if b.sess == nil || sess == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.adopted = append(b.adopted, sess)
+	if len(b.adopted) > maxAdoptedSessions {
+		b.adopted = b.adopted[len(b.adopted)-maxAdoptedSessions:]
+	}
+}
+
+// writeProfile renders the continuous self-profile (flat table, or
+// folded stacks with fold) over the worker lanes and every adopted
+// job session, under the board lock so no lane mutates mid-read.
+func (b *traceBoard) writeProfile(w io.Writer, fold bool, topN int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sessions := make([]*obs.Session, 0, 1+len(b.adopted))
+	sessions = append(sessions, b.sess)
+	sessions = append(sessions, b.adopted...)
+	if fold {
+		return obs.WriteFolded(w, obs.FoldedProfile(sessions...))
+	}
+	_, err := io.WriteString(w, obs.RenderProfile(obs.ProfileOf(sessions...), topN))
+	return err
 }

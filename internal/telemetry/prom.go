@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vcprof/internal/obs"
+)
+
+// GaugeSample is one instantaneous gauge reading for exposition.
+type GaugeSample struct {
+	Name  string
+	Value float64
+}
+
+// PromOptions configures one exposition render.
+type PromOptions struct {
+	// IncludeVolatile adds the scheduling-dependent counters and
+	// histograms. With it false (and no Gauges) the output is the
+	// deterministic subset: byte-stable across worker counts and warm
+	// restarts, safe for golden comparison.
+	IncludeVolatile bool
+	// Gauges are instantaneous values rendered as gauge metrics; they
+	// are sorted by name here, so callers may pass them in any order.
+	Gauges []GaugeSample
+}
+
+// WriteProm renders the obs registry in the Prometheus text exposition
+// format v0.0.4. Metric names get the vcprof_ prefix with dots mapped
+// to underscores; every section and every family is sorted by name, so
+// identical registry states render to identical bytes. No timestamps
+// are emitted — byte-stability is the contract the restart test pins.
+//
+// Histograms render cumulatively with the conventional le labels,
+// +Inf bucket, _sum and _count series, so any Prometheus-compatible
+// scraper (and vcperf) can reconstruct quantiles.
+func WriteProm(w io.Writer, opts PromOptions) error {
+	bw := &errWriter{w: w}
+	for _, c := range obs.Counters(opts.IncludeVolatile) {
+		name := promName(c.Name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
+	}
+	gauges := make([]GaugeSample, len(opts.Gauges))
+	copy(gauges, opts.Gauges)
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+	for _, g := range gauges {
+		name := promName(g.Name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(g.Value))
+	}
+	for _, h := range obs.Histograms(opts.IncludeVolatile) {
+		writePromHistogram(bw, h)
+	}
+	return bw.err
+}
+
+func writePromHistogram(w io.Writer, h obs.HistogramValue) {
+	name := promName(h.Name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum)
+	}
+	cum += h.Counts[len(h.Bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
+
+// promName maps a dotted obs name into the Prometheus grammar:
+// vcprof_ prefix, [a-zA-Z0-9_] body.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 7)
+	b.WriteString("vcprof_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders gauges the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// errWriter latches the first write error so the render loop stays
+// linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}
+
+// RenderHistogram returns a human-oriented aligned dump of one
+// histogram snapshot with per-bucket bars and the standard quantiles —
+// the form vcload and vcperf print for latency distributions.
+func RenderHistogram(h obs.HistogramValue, unit string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: count %d sum %d%s", h.Name, h.Count, h.Sum, unit)
+	if h.Count > 0 {
+		fmt.Fprintf(&b, " p50 %d%s p95 %d%s p99 %d%s",
+			h.Quantile(0.50), unit, h.Quantile(0.95), unit, h.Quantile(0.99), unit)
+	}
+	b.WriteByte('\n')
+	max := uint64(1)
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		label := "+Inf"
+		if i < len(h.Bounds) {
+			label = strconv.FormatUint(h.Bounds[i], 10)
+		}
+		bar := strings.Repeat("#", int(1+c*39/max))
+		fmt.Fprintf(&b, "  le %8s%s  %8d %s\n", label, unit, c, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,34 @@
+// Package telemetry is the live metric-extraction loop over the obs
+// registry: a Prometheus text exposition renderer (counters,
+// histograms, gauges) and a lock-cheap ring-buffer time-series store
+// the daemon samples on a coarse ticker. It is read-only over obs —
+// rendering or sampling never perturbs the measurements, the same
+// discipline the paper applies to its perf sampling.
+//
+// The deterministic/volatile split carries through: a deterministic
+// exposition (volatile filtered, no gauges) is byte-stable across
+// worker counts and warm restarts and is pinned by golden tests;
+// the full exposition adds the scheduling- and wall-clock-dependent
+// series for humans and dashboards.
+package telemetry
+
+// LatencyBucketsMS is the shared bucket layout for wall-clock latency
+// histograms in milliseconds, used by the daemon's job-latency and
+// queue-wait histograms and by vcload's client-side distribution so
+// the two are directly comparable. Power-of-two-ish edges cover one
+// tick of the scheduler (1ms) up to the default job timeout order
+// (2min).
+var LatencyBucketsMS = []uint64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 15000, 60000, 120000}
+
+// TickBuckets is the shared bucket layout for virtual-tick histograms
+// (per-stage encode ticks): wide geometric steps, since modeled
+// instruction counts span from tiny intra blocks to multi-million-op
+// motion searches.
+var TickBuckets = []uint64{
+	1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16,
+	1 << 18, 1 << 20, 1 << 22, 1 << 24, 1 << 26,
+}
+
+// LookupBucketsUS is the shared bucket layout for host-time
+// micro-latency histograms in microseconds (cell-cache lookups).
+var LookupBucketsUS = []uint64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000, 1000000}

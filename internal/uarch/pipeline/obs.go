@@ -17,6 +17,16 @@ var (
 	obsStallLQ     = obs.NewCounter("uarch.pipeline.stall_lq")
 	obsStallSQ     = obs.NewCounter("uarch.pipeline.stall_sq")
 	obsStallFU     = obs.NewCounter("uarch.pipeline.stall_fu")
+
+	// Final slot attribution (top-down level 1). Deterministic like the
+	// rest: one replay adds its exact slot classes once, at completion —
+	// mid-run streaming goes through topdown.Producer snapshots, never
+	// through these counters, so goldens stay worker-count independent.
+	obsSlotsTotal    = obs.NewCounter("uarch.pipeline.slots_total")
+	obsSlotsRetiring = obs.NewCounter("uarch.pipeline.slots_retiring")
+	obsSlotsBadSpec  = obs.NewCounter("uarch.pipeline.slots_badspec")
+	obsSlotsFrontend = obs.NewCounter("uarch.pipeline.slots_frontend")
+	obsSlotsBackend  = obs.NewCounter("uarch.pipeline.slots_backend")
 )
 
 // flushObs records one completed replay's headline events, including
@@ -32,5 +42,10 @@ func (s *Sim) flushObs(res *Result) {
 	obsStallLQ.Add(res.StallLQ)
 	obsStallSQ.Add(res.StallSQ)
 	obsStallFU.Add(res.StallFU)
+	obsSlotsTotal.Add(res.TotalSlots)
+	obsSlotsRetiring.Add(res.RetiringSlots)
+	obsSlotsBadSpec.Add(res.BadSpecSlots)
+	obsSlotsFrontend.Add(res.FrontendSlots)
+	obsSlotsBackend.Add(res.BackendSlots)
 	s.mem.FlushObs()
 }

@@ -13,11 +13,13 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"vcprof/internal/trace"
 	"vcprof/internal/uarch/bpred"
 	"vcprof/internal/uarch/cache"
+	"vcprof/internal/uarch/topdown"
 )
 
 // Config describes the modeled core, default-initialized by Broadwell().
@@ -160,9 +162,25 @@ func max64(a, b uint64) uint64 {
 // Run replays ops and returns the result. The simulator state (caches,
 // predictor) is reset first, so runs are independent.
 func (s *Sim) Run(ops []trace.MicroOp) (*Result, error) {
+	return s.RunCtx(context.Background(), ops)
+}
+
+// flushEvery is the streaming granularity: every this many retired ops
+// the replay pushes a provisional cumulative slot snapshot to any
+// topdown accumulators on the context. Coarse enough that the nil
+// check dominates on untelemetered runs, fine enough that a fig6-class
+// window (hundreds of thousands of ops) flushes many times.
+const flushEvery = 4096
+
+// RunCtx is Run with a context carrying optional streaming top-down
+// accumulators (topdown.WithAccumulator). Replay results are
+// byte-identical with and without a consumer: streaming only reads the
+// provisional slot state, it never alters the model.
+func (s *Sim) RunCtx(ctx context.Context, ops []trace.MicroOp) (*Result, error) {
 	if len(ops) == 0 {
 		return nil, fmt.Errorf("pipeline: empty trace")
 	}
+	prod := topdown.StartProducer(ctx)
 	s.pred.Reset()
 	s.mem.Reset()
 	s.icache.Reset()
@@ -350,6 +368,10 @@ func (s *Sim) Run(ops []trace.MicroOp) (*Result, error) {
 		retireInCycle++
 		lastRetire = retire
 		retireRing[i%cfg.ROBSize] = retire
+
+		if prod != nil && (i+1)%flushEvery == 0 {
+			prod.Observe(provisionalSlots(cfg.Width, uint64(i+1), lastRetire+1, res.BadSpecSlots, frontendStall))
+		}
 	}
 
 	res.Cycles = lastRetire + 1
@@ -369,6 +391,34 @@ func (s *Sim) Run(ops []trace.MicroOp) (*Result, error) {
 		res.FrontendSlots = rem
 	}
 	res.BackendSlots = rem - res.FrontendSlots
+	prod.Commit(topdown.Slots{
+		Total:    res.TotalSlots,
+		Retiring: res.RetiringSlots,
+		BadSpec:  res.BadSpecSlots,
+		Frontend: res.FrontendSlots,
+		Backend:  res.BackendSlots,
+	})
 	s.flushObs(res)
 	return res, nil
+}
+
+// provisionalSlots classifies a partially-replayed window's slots with
+// the same clamping order the final accounting applies (retiring →
+// bad-spec → frontend, backend as remainder), so every streamed
+// cumulative snapshot sums to exactly its total.
+func provisionalSlots(width int, retired, cycles, badspec, frontendStall uint64) topdown.Slots {
+	sl := topdown.Slots{Total: cycles * uint64(width), Retiring: retired}
+	if sl.Retiring > sl.Total {
+		sl.Retiring = sl.Total
+	}
+	sl.BadSpec = badspec
+	if rem := sl.Total - sl.Retiring; sl.BadSpec > rem {
+		sl.BadSpec = rem
+	}
+	sl.Frontend = frontendStall * uint64(width)
+	if rem := sl.Total - sl.Retiring - sl.BadSpec; sl.Frontend > rem {
+		sl.Frontend = rem
+	}
+	sl.Backend = sl.Total - sl.Retiring - sl.BadSpec - sl.Frontend
+	return sl
 }

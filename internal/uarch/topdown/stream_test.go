@@ -1,0 +1,148 @@
+package topdown
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestSlotsLevel1 pins the clamp order and the sum-to-one contract.
+func TestSlotsLevel1(t *testing.T) {
+	if _, err := (Slots{}).Level1(); err == nil {
+		t.Fatal("zero-total Level1 did not error")
+	}
+	cases := []Slots{
+		{Total: 100, Retiring: 40, BadSpec: 10, Frontend: 20, Backend: 30},
+		{Total: 100, Retiring: 90, BadSpec: 30, Frontend: 30},          // over-attributed: clamped in order
+		{Total: 100, Retiring: 10},                                     // shortfall → backend
+		{Total: 1 << 40, Retiring: 1 << 39, BadSpec: 17, Frontend: 19}, // large totals
+	}
+	for i, s := range cases {
+		b, err := s.Level1()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		sum := b.Retiring + b.BadSpec + b.Frontend + b.Backend
+		if sum < 0.999999 || sum > 1.000001 {
+			t.Errorf("case %d: fractions sum to %v", i, sum)
+		}
+	}
+	// Over-attribution clamps canonically: retiring first, then
+	// bad-spec into the remainder, frontend last.
+	b, _ := Slots{Total: 100, Retiring: 90, BadSpec: 30, Frontend: 30}.Level1()
+	if b.Retiring != 0.9 || b.BadSpec != 0.1 || b.Frontend != 0 || b.Backend != 0 {
+		t.Errorf("clamp order wrong: %+v", b)
+	}
+}
+
+// TestAccumulatorLifecycle walks one producer through observe →
+// observe → commit and checks the cumulative-snapshot semantics:
+// Observe replaces (never adds), Commit folds into done and retires
+// the live entry.
+func TestAccumulatorLifecycle(t *testing.T) {
+	acc := NewAccumulator()
+	ctx := WithAccumulator(context.Background(), acc)
+	p := StartProducer(ctx)
+	if p == nil {
+		t.Fatal("producer nil with an accumulator attached")
+	}
+
+	p.Observe(Slots{Total: 100, Retiring: 60})
+	p.Observe(Slots{Total: 200, Retiring: 120}) // cumulative: replaces, not adds
+	s := acc.Snapshot()
+	if s.Total != 200 || s.Retiring != 120 || s.Producers != 1 || s.Flushes != 2 || s.Commits != 0 {
+		t.Fatalf("mid-run snapshot %+v", s)
+	}
+
+	p.Commit(Slots{Total: 300, Retiring: 180, Backend: 120})
+	s = acc.Snapshot()
+	if s.Total != 300 || s.Retiring != 180 || s.Producers != 0 || s.Commits != 1 {
+		t.Fatalf("post-commit snapshot %+v", s)
+	}
+}
+
+// TestProducerFanOut pins the context fan-out: one flush feeds every
+// attached accumulator (per-job plus server aggregate).
+func TestProducerFanOut(t *testing.T) {
+	perJob, agg := NewAccumulator(), NewAccumulator()
+	ctx := WithAccumulator(WithAccumulator(context.Background(), perJob), agg)
+	p := StartProducer(ctx)
+	p.Observe(Slots{Total: 40, Retiring: 10})
+	for name, a := range map[string]*Accumulator{"perJob": perJob, "agg": agg} {
+		if s := a.Snapshot(); s.Total != 40 || s.Producers != 1 {
+			t.Errorf("%s snapshot %+v, want total 40 from 1 producer", name, s)
+		}
+	}
+	p.Abort()
+	for name, a := range map[string]*Accumulator{"perJob": perJob, "agg": agg} {
+		if s := a.Snapshot(); s.Total != 0 || s.Producers != 0 || s.Commits != 0 {
+			t.Errorf("%s snapshot after abort %+v, want empty", name, s)
+		}
+	}
+}
+
+// TestDisabledProducer pins the nil contract: no accumulators on the
+// context → nil producer → every method a no-op.
+func TestDisabledProducer(t *testing.T) {
+	if p := StartProducer(context.Background()); p != nil {
+		t.Fatal("producer on a bare context should be nil")
+	}
+	var p *Producer
+	p.Observe(Slots{Total: 1})
+	p.Commit(Slots{Total: 1})
+	p.Abort()
+	var a *Accumulator
+	if s := a.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil accumulator snapshot %+v", s)
+	}
+}
+
+// TestAccumulatorConcurrent hammers one accumulator from many
+// producers under -race. Every observed instant must be internally
+// consistent: attributed slots never exceed Total on a snapshot that
+// saw only cumulative states.
+func TestAccumulatorConcurrent(t *testing.T) {
+	acc := NewAccumulator()
+	ctx := WithAccumulator(context.Background(), acc)
+	const producers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := acc.Snapshot()
+			if used := s.Retiring + s.BadSpec + s.Frontend + s.Backend; used > s.Total {
+				t.Errorf("snapshot over-attributed: %+v", s)
+				return
+			}
+		}
+	}()
+	var prodWG sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		prodWG.Add(1)
+		go func() {
+			defer prodWG.Done()
+			p := StartProducer(ctx)
+			for i := uint64(1); i <= 500; i++ {
+				p.Observe(Slots{Total: 4 * i, Retiring: 2 * i, Backend: 2 * i})
+			}
+			p.Commit(Slots{Total: 2000, Retiring: 1000, Backend: 1000})
+		}()
+	}
+	prodWG.Wait()
+	close(stop)
+	wg.Wait()
+	s := acc.Snapshot()
+	if s.Commits != producers || s.Producers != 0 {
+		t.Fatalf("final snapshot %+v, want %d commits and no live producers", s, producers)
+	}
+	if s.Total != producers*2000 {
+		t.Fatalf("final total %d, want %d", s.Total, producers*2000)
+	}
+}
