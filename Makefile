@@ -21,9 +21,9 @@ VET_PASSES = -appends -asmdecl -assign -atomic -bools -buildtag \
 	-stringintconv -structtag -testinggoroutine -tests -timeformat \
 	-unmarshal -unreachable -unsafeptr -unusedresult
 
-.PHONY: ci fmt vet build lint test race golden bench bench-short fuzz-smoke serve-smoke telemetry-smoke
+.PHONY: ci fmt vet build lint test race golden bench bench-short fuzz-smoke serve-smoke telemetry-smoke sched-smoke
 
-ci: fmt vet build lint test fuzz-smoke bench-short serve-smoke telemetry-smoke race
+ci: fmt vet build lint test fuzz-smoke bench-short serve-smoke telemetry-smoke sched-smoke race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -50,7 +50,8 @@ test:
 
 race:
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/harness ./internal/encoders \
-		./internal/service ./internal/obs ./internal/telemetry ./internal/uarch/topdown
+		./internal/service ./internal/sched ./internal/obs ./internal/telemetry \
+		./internal/uarch/topdown
 
 # Regenerate the golden regression tables after an intentional change,
 # then review the diff under internal/harness/testdata/golden/.
@@ -83,6 +84,14 @@ serve-smoke:
 # folded-stack surfaces must serve. See scripts/telemetry_smoke.sh.
 telemetry-smoke:
 	BENCH_OUT=$(BENCH_OUT) GO="$(GO)" sh scripts/telemetry_smoke.sh
+
+# End-to-end smoke of the shard scheduler: the same seeded bimodal
+# vcload mix against a baseline daemon (sharding off, fifo) and a
+# sharded one (work-stealing pool + SJF admission) must produce
+# identical digests, and the light-job p99 must improve by >=5x. See
+# scripts/sched_smoke.sh.
+sched-smoke:
+	BENCH_OUT=BENCH_pr6 GO="$(GO)" sh scripts/sched_smoke.sh
 
 # Ten-second smoke of each fuzz target over its committed seed corpus.
 # Finding a crasher here fails CI; reproduce with the file Go writes

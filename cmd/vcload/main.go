@@ -60,6 +60,8 @@ func run() error {
 		frames  = flag.Int("frames", 2, "frames per encode job")
 		div     = flag.Int("div", 32, "resolution divisor per encode job")
 		expFrac = flag.Int("exp-every", 0, "make every k-th job a quick experiment (0 = encodes only)")
+		heavy   = flag.Int("heavy-every", 0, "make every k-th encode heavy (4× frames, 4× resolution, slowest preset) — the bimodal mix the tail-latency study uses (0 = off)")
+		flat    = flag.Bool("flat-prio", false, "serve everything at one priority class (the tail-latency study isolates cost-aware ordering from priority tiers)")
 		bench   = flag.Bool("bench", false, "print benchjson-compatible Benchmark lines")
 	)
 	flag.Parse()
@@ -71,7 +73,7 @@ func run() error {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	specs := buildMix(*seed, *n, *frames, *div, *expFrac)
+	specs := buildMix(*seed, *n, *frames, *div, *expFrac, *heavy, *flat)
 
 	client := &http.Client{Timeout: 5 * time.Minute}
 	var (
@@ -144,13 +146,37 @@ func run() error {
 
 	if *bench {
 		perJob := wall.Nanoseconds() / int64(done)
-		sorted := append([]time.Duration(nil), latencies...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		p := func(q float64) int64 { return sorted[int(q*float64(len(sorted)-1))].Nanoseconds() }
+		quantiles := func(tag string, lats []time.Duration) {
+			if len(lats) == 0 {
+				return
+			}
+			sorted := append([]time.Duration(nil), lats...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			p := func(q float64) int64 { return sorted[int(q*float64(len(sorted)-1))].Nanoseconds() }
+			fmt.Printf("BenchmarkServeLatency%sP50 %d %d ns/op\n", tag, len(sorted), p(0.50))
+			fmt.Printf("BenchmarkServeLatency%sP95 %d %d ns/op\n", tag, len(sorted), p(0.95))
+			fmt.Printf("BenchmarkServeLatency%sP99 %d %d ns/op\n", tag, len(sorted), p(0.99))
+		}
 		fmt.Printf("BenchmarkServeJob %d %d ns/op\n", done, perJob)
-		fmt.Printf("BenchmarkServeLatencyP50 %d %d ns/op\n", done, p(0.50))
-		fmt.Printf("BenchmarkServeLatencyP95 %d %d ns/op\n", done, p(0.95))
-		fmt.Printf("BenchmarkServeLatencyP99 %d %d ns/op\n", done, p(0.99))
+		quantiles("", latencies)
+		// In a bimodal mix the populations have different tails by
+		// construction, so publish them separately: the light-job p99 is
+		// the study's headline metric (heavy jobs drown it out of the
+		// combined quantile).
+		if *heavy > 0 {
+			var light, heavyLat []time.Duration
+			for i, spec := range specs {
+				switch {
+				case spec.Kind != service.KindEncode:
+				case (i+1)%*heavy == 0:
+					heavyLat = append(heavyLat, latencies[i])
+				default:
+					light = append(light, latencies[i])
+				}
+			}
+			quantiles("Light", light)
+			quantiles("Heavy", heavyLat)
+		}
 	}
 	return nil
 }
@@ -158,7 +184,7 @@ func run() error {
 // buildMix derives the job list from the seed: a pure function, so
 // every pass (and every process) with the same parameters offers the
 // same work in the same order.
-func buildMix(seed uint64, n, frames, div, expEvery int) []service.JobSpec {
+func buildMix(seed uint64, n, frames, div, expEvery, heavyEvery int, flatPrio bool) []service.JobSpec {
 	clips := video.Vbench()
 	fams := encoders.Families()
 	exps := []string{"fig1", "fig4"}
@@ -178,7 +204,7 @@ func buildMix(seed uint64, n, frames, div, expEvery int) []service.JobSpec {
 			lo, hi := enc.CRFRange()
 			// Four CRF operating points spread across the family range.
 			crf := lo + int(rng.next()%4)*(hi-lo)/4
-			plo, phi, _ := enc.PresetRange()
+			plo, phi, reversed := enc.PresetRange()
 			specs[i] = service.JobSpec{
 				Kind:     service.KindEncode,
 				Family:   string(fam),
@@ -189,6 +215,27 @@ func buildMix(seed uint64, n, frames, div, expEvery int) []service.JobSpec {
 				Preset:   (plo + phi) / 2,
 				Threads:  1,
 				Priority: int(rng.next() % 3),
+			}
+			// The heavy override lands after every rng draw: a run with
+			// -heavy-every off draws the exact same stream, so the default
+			// mix (and its digest) is untouched by the flag's existence.
+			if heavyEvery > 0 && (i+1)%heavyEvery == 0 {
+				specs[i].Frames = frames * 4
+				if d := div / 4; d >= 1 {
+					specs[i].ScaleDiv = d
+				} else {
+					specs[i].ScaleDiv = 1
+				}
+				if reversed {
+					specs[i].Preset = phi // larger = slower (x264/x265)
+				} else {
+					specs[i].Preset = plo // smaller = slower
+				}
+			}
+			// Like the heavy override, applied after the draws so the rng
+			// stream (and the default mix) is untouched.
+			if flatPrio {
+				specs[i].Priority = 0
 			}
 		}
 		specs[i].Normalize()

@@ -50,6 +50,10 @@ func run() error {
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		traceOn  = flag.Bool("trace", false, "record worker spans; export at /debug/trace")
 		sample   = flag.Duration("sample", 250*time.Millisecond, "telemetry time-series sampling interval (0 disables /v1/telemetry/series)")
+		shard    = flag.Bool("shard", true, "run jobs on the work-stealing shard scheduler (false = serial per-worker execution)")
+		shardN   = flag.Int("shard-workers", 0, "shard pool size (0 = same as -j)")
+		stealSed = flag.Uint64("steal-seed", 0, "shard-scheduler victim-selection seed (results are identical for any value; 0 = 1)")
+		admit    = flag.String("admission", "sjf", "queue policy: sjf (shortest estimated job first within a priority) or fifo")
 	)
 	flag.Parse()
 
@@ -64,14 +68,18 @@ func run() error {
 	// survive the start of a drain and only die when the drain budget
 	// runs out (Shutdown cancels the base context itself).
 	srv, err := service.NewServer(context.Background(), service.Config{
-		StoreDir:       *storeDir,
-		StoreMaxBytes:  *storeMax,
-		Workers:        *workers,
-		QueueCap:       *queueCap,
-		DefaultTimeout: *timeout,
-		DrainTimeout:   *drain,
-		Obs:            sess,
-		SampleInterval: *sample,
+		StoreDir:        *storeDir,
+		StoreMaxBytes:   *storeMax,
+		Workers:         *workers,
+		QueueCap:        *queueCap,
+		DefaultTimeout:  *timeout,
+		DrainTimeout:    *drain,
+		Obs:             sess,
+		SampleInterval:  *sample,
+		ShardWorkers:    *shardN,
+		DisableSharding: !*shard,
+		StealSeed:       *stealSed,
+		Admission:       *admit,
 	})
 	if err != nil {
 		return err

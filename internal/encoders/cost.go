@@ -1,0 +1,62 @@
+package encoders
+
+// The static cost table behind size-aware admission. CostHint predicts
+// the relative dynamic cost of an encode from its operating point
+// before any work happens — the signal the service queue uses to run
+// shortest-expected-work first so a heavy encode cannot head-of-line
+// block cheap ones. Estimates only steer scheduling: they are never
+// part of a result, a content address, or any byte-compared export,
+// and ROADMAP item 3's learned model can replace this table without
+// touching results.
+
+// familyBaseCost is the per-pixel relative work of each family at
+// middle effort, in 1/16ths of the x264 baseline. The ratios follow
+// the paper's Fig. 1 instruction-count ordering: the AV1-family
+// encoders burn an order of magnitude more instructions per pixel
+// than x264, with SVT-AV1 roughly halfway to libaom.
+var familyBaseCost = map[Family]uint64{
+	X264:   16,
+	X265:   40,
+	VP9:    56,
+	SVTAV1: 120,
+	Libaom: 240,
+}
+
+// CostHint estimates the relative dynamic cost of one encode in
+// arbitrary work units: per-pixel family base cost × scaled pixels ×
+// frames, shaped by preset effort (slower presets search up to 4×
+// more) and CRF (lower CRF keeps more coefficients alive, up to ~1.5×
+// at CRF 0). Unknown families get the heaviest base so they are never
+// under-scheduled. The result is always at least 1.
+func CostHint(f Family, pixelsPerFrame, frames, crf, preset int) uint64 {
+	base := familyBaseCost[f]
+	if base == 0 {
+		base = 240
+	}
+	if pixelsPerFrame < 1 {
+		pixelsPerFrame = 1
+	}
+	if frames < 1 {
+		frames = 1
+	}
+	effMul := 4.0
+	crfMul := 1.0
+	if s, ok := specs[f]; ok {
+		effMul = 1 + 3*s.effort(preset)
+		if s.crfMax > 0 {
+			c := crf
+			if c < 0 {
+				c = 0
+			}
+			if c > s.crfMax {
+				c = s.crfMax
+			}
+			crfMul = 1.5 - float64(c)/float64(s.crfMax)
+		}
+	}
+	u := float64(base) / 16 * float64(pixelsPerFrame) * float64(frames) * effMul * crfMul
+	if u < 1 {
+		return 1
+	}
+	return uint64(u)
+}

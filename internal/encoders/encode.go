@@ -39,7 +39,12 @@ func (m *model) Encode(ctx context.Context, clip *video.Clip, opts Options) (*Re
 	}
 	//lint:ignore detnow Result.Wall is host wall-clock by contract (live-run reporting); tables use modeled cycles (harness.cycleMS), never this value
 	start := time.Now()
-	if err := runLive(ctx, g, ws); err != nil {
+	if opts.Executor != nil {
+		err = runSharded(ctx, se, g, ws, opts.Executor)
+	} else {
+		err = runLive(ctx, g, ws)
+	}
+	if err != nil {
 		return nil, err
 	}
 	wall := time.Since(start) //lint:ignore detnow same contract as above: informational Result.Wall only

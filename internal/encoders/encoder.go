@@ -47,12 +47,20 @@ type Options struct {
 	// (fastest). x264/x265: 0 (fastest) to 9 (slowest) — the reversed
 	// direction the paper notes in §3.3.
 	Preset int
-	// Threads is the number of worker goroutines (default 1).
+	// Threads is the number of worker goroutines. 0 means the default
+	// of 1 everywhere — Encode, validation, and cache keys treat the
+	// two spellings as the same encode.
 	Threads int
 	// NewWorkerCtx, when non-nil, supplies an instrumentation context for
 	// each worker. Worker 0 exists in every run. Contexts are merged into
 	// Result.Mix after the encode.
 	NewWorkerCtx func(worker int) *trace.Ctx
+	// Executor, when non-nil, runs the encode's task graph on an
+	// external scheduler (the harness shard pool) instead of the
+	// built-in worker pool. Results are byte-identical either way:
+	// the graph carries every true dependence, and instrumentation is
+	// merged in task-index order. See TaskGraph.
+	Executor Executor
 	// KeyInterval inserts a keyframe every n frames (0 = only frame 0).
 	KeyInterval int
 	// KeepBitstream assembles the full decodable container into

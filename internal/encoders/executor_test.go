@@ -1,0 +1,136 @@
+package encoders
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"vcprof/internal/sched"
+	"vcprof/internal/trace"
+)
+
+// poolExec adapts a sched.Pool for the Options.Executor hook the way
+// the harness does (the interfaces are structurally identical).
+type poolExec struct{ p *sched.Pool }
+
+func (e poolExec) Workers() int                                    { return e.p.Workers() }
+func (e poolExec) RunGraph(ctx context.Context, g TaskGraph) error { return e.p.RunGraph(ctx, g) }
+
+// TestExecutorMatchesSerial pins the shard-handoff contract at the
+// encoder level: an encode whose task graph runs on a work-stealing
+// pool returns a Result identical to the serial runLive path — same
+// bitstream, quality, instruction totals, mix, per-worker attribution
+// and per-frame stage breakdown — at several worker counts and seeds.
+func TestExecutorMatchesSerial(t *testing.T) {
+	clip := testClip(t, "game1", 3, 16)
+	for _, fam := range []Family{SVTAV1, X264, X265} {
+		enc := MustNew(fam)
+		opts := Options{CRF: 30, Preset: 3, NewWorkerCtx: func(int) *trace.Ctx { return trace.New() }}
+		serial, err := enc.Encode(context.Background(), clip, opts)
+		if err != nil {
+			t.Fatalf("%s serial: %v", fam, err)
+		}
+		for _, cfg := range []struct {
+			workers int
+			seed    uint64
+		}{{1, 1}, {4, 1}, {4, 12345}, {8, 7}} {
+			p := sched.NewPool(sched.Config{Workers: cfg.workers, Seed: cfg.seed})
+			o := opts
+			o.Executor = poolExec{p: p}
+			sharded, err := enc.Encode(context.Background(), clip, o)
+			p.Close()
+			if err != nil {
+				t.Fatalf("%s workers=%d seed=%d: %v", fam, cfg.workers, cfg.seed, err)
+			}
+			if sharded.Bytes != serial.Bytes || sharded.PSNR != serial.PSNR || sharded.SSIM != serial.SSIM {
+				t.Errorf("%s workers=%d seed=%d: output differs: %d/%v/%v vs %d/%v/%v",
+					fam, cfg.workers, cfg.seed, sharded.Bytes, sharded.PSNR, sharded.SSIM, serial.Bytes, serial.PSNR, serial.SSIM)
+			}
+			if sharded.Insts != serial.Insts {
+				t.Errorf("%s workers=%d seed=%d: instructions differ: %d vs %d",
+					fam, cfg.workers, cfg.seed, sharded.Insts, serial.Insts)
+			}
+			if sharded.Mix != serial.Mix {
+				t.Errorf("%s workers=%d seed=%d: mix differs", fam, cfg.workers, cfg.seed)
+			}
+			if !reflect.DeepEqual(sharded.WorkerInsts, serial.WorkerInsts) {
+				t.Errorf("%s workers=%d seed=%d: worker attribution differs:\nserial  %v\nsharded %v",
+					fam, cfg.workers, cfg.seed, serial.WorkerInsts, sharded.WorkerInsts)
+			}
+			if !reflect.DeepEqual(sharded.FrameStages, serial.FrameStages) {
+				t.Errorf("%s workers=%d seed=%d: frame stage breakdown differs", fam, cfg.workers, cfg.seed)
+			}
+			if !reflect.DeepEqual(sharded.FrameBytes, serial.FrameBytes) {
+				t.Errorf("%s workers=%d seed=%d: frame bytes differ", fam, cfg.workers, cfg.seed)
+			}
+		}
+	}
+}
+
+// TestExecutorCancellation pins that a cancelled sharded encode
+// returns the context error and no result.
+func TestExecutorCancellation(t *testing.T) {
+	clip := testClip(t, "desktop", 3, 16)
+	p := sched.NewPool(sched.Config{Workers: 2})
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	enc := MustNew(Libaom)
+	_, err := enc.Encode(ctx, clip, Options{CRF: 30, Preset: 3, Executor: poolExec{p: p}})
+	if err == nil {
+		t.Fatal("cancelled sharded encode returned nil error")
+	}
+}
+
+// TestThreadsZeroEqualsOne is the Threads:0 regression test at the
+// encoder level: 0 means the 1-thread default everywhere, so both
+// spellings must validate and produce identical results.
+func TestThreadsZeroEqualsOne(t *testing.T) {
+	clip := testClip(t, "game2", 2, 16)
+	for _, fam := range []Family{SVTAV1, X264} {
+		enc := MustNew(fam)
+		zero, err := enc.Encode(context.Background(), clip, Options{CRF: 30, Preset: 3, Threads: 0})
+		if err != nil {
+			t.Fatalf("%s threads=0 rejected: %v", fam, err)
+		}
+		one, err := enc.Encode(context.Background(), clip, Options{CRF: 30, Preset: 3, Threads: 1})
+		if err != nil {
+			t.Fatalf("%s threads=1: %v", fam, err)
+		}
+		if zero.Bytes != one.Bytes || zero.PSNR != one.PSNR || zero.Insts != one.Insts {
+			t.Errorf("%s: Threads 0 and 1 diverge: %d/%v/%d vs %d/%v/%d",
+				fam, zero.Bytes, zero.PSNR, zero.Insts, one.Bytes, one.PSNR, one.Insts)
+		}
+	}
+}
+
+// TestCostHintOrdering pins the admission cost table's robust
+// orderings: the paper's Fig.1 endpoints (x264 ≪ libaom — the 15×
+// base ratio dominates any effort/CRF shaping), more pixels and more
+// frames cost more, cheaper CRF costs more, and unknown families fall
+// back to the most expensive band rather than the cheapest.
+func TestCostHintOrdering(t *testing.T) {
+	px, frames := 320*180, 4
+	for preset := 0; preset <= 8; preset++ {
+		fast := CostHint(X264, px, frames, 30, preset)
+		slow := CostHint(Libaom, px, frames, 30, preset)
+		if fast >= slow {
+			t.Errorf("preset %d: CostHint(x264)=%d not below CostHint(libaom)=%d", preset, fast, slow)
+		}
+	}
+	if CostHint(X264, 2*px, frames, 30, 4) <= CostHint(X264, px, frames, 30, 4) {
+		t.Error("doubling pixels did not raise the cost")
+	}
+	if CostHint(X264, px, 2*frames, 30, 4) <= CostHint(X264, px, frames, 30, 4) {
+		t.Error("doubling frames did not raise the cost")
+	}
+	if CostHint(SVTAV1, px, frames, 0, 4) <= CostHint(SVTAV1, px, frames, 63, 4) {
+		t.Error("CRF 0 (most coefficients alive) must cost more than the max CRF")
+	}
+	if CostHint(Family("nope"), px, frames, 30, 4) < CostHint(Libaom, px, frames, 30, 4)/12 {
+		t.Error("unknown family must land in the most expensive band")
+	}
+	if CostHint(X264, 0, 0, 0, 0) == 0 {
+		t.Error("degenerate inputs must still cost at least 1")
+	}
+}

@@ -31,10 +31,13 @@ import (
 
 // task is one schedulable unit. pic, when set, is the picture the
 // task's work is attributed to for the per-frame stage breakdown.
+// cost is the builder's static work estimate (roughly superblocks
+// scaled by preset effort), used only to steer external schedulers.
 type task struct {
 	name string
 	deps []int
 	pic  *picture
+	cost uint64
 	run  func(worker int, tc *trace.Ctx) error
 }
 
@@ -46,15 +49,21 @@ type graph struct {
 
 // add appends a task attributed to pic and returns its id. All deps
 // must already exist.
-func (g *graph) add(pic *picture, name string, deps []int, run func(worker int, tc *trace.Ctx) error) int {
+func (g *graph) add(pic *picture, name string, deps []int, cost uint64, run func(worker int, tc *trace.Ctx) error) int {
 	id := len(g.tasks)
 	for _, d := range deps {
 		if d < 0 || d >= id {
 			panic(fmt.Sprintf("encoders: task %q depends on invalid task %d", name, d))
 		}
 	}
-	g.tasks = append(g.tasks, task{name: name, deps: append([]int(nil), deps...), pic: pic, run: run})
+	g.tasks = append(g.tasks, task{name: name, deps: append([]int(nil), deps...), pic: pic, cost: cost, run: run})
 	return id
+}
+
+// sbCost is the static per-superblock work estimate of closed-loop
+// encode tasks at the stream's preset: slower presets search more.
+func (se *streamEncoder) sbCost() uint64 {
+	return uint64(4 + int(12*se.spec.effort(se.opts.Preset)))
 }
 
 // runTask executes one task on tc, snapshotting the context's
@@ -208,6 +217,102 @@ func runProfiled(ctx context.Context, g *graph, ws *workerSet) ([]uint64, error)
 		}
 	}
 	return costs, nil
+}
+
+// ---------------------------------------------------------------------
+// Shard handoff: the external-executor surface.
+
+// TaskGraph is the read-only view of an encode's task graph handed to
+// an external Executor: tasks in topological numbering (deps always
+// precede their task), static cost estimates, and a Run that executes
+// one task on behalf of the given executor worker. Run may be called
+// concurrently for independent tasks; the graph enforces its own
+// instrumentation merging, so any schedule honoring Deps yields
+// byte-identical results.
+type TaskGraph interface {
+	NumTasks() int
+	Deps(i int) []int
+	Cost(i int) uint64
+	Label(i int) string
+	Run(ctx context.Context, task, worker int) error
+}
+
+// Executor schedules a TaskGraph to completion. Workers reports the
+// executor's worker-id range: Run worker arguments are in [0,
+// Workers()). RunGraph must not return while any task is executing.
+type Executor interface {
+	Workers() int
+	RunGraph(ctx context.Context, g TaskGraph) error
+}
+
+// shardGraph adapts a built encode graph to the TaskGraph surface.
+// Each task runs with a private trace context that is merged into the
+// worker set's context slot chosen by task index — a schedule-free
+// assignment, so Insts, Mix and WorkerInsts are identical no matter
+// which executor worker ran what. Frame stage attribution stays exact
+// because runTask snapshots the private context around the body.
+type shardGraph struct {
+	g  *graph
+	ws *workerSet
+	mu []sync.Mutex // one per merge slot; nil when uninstrumented
+}
+
+func (s *shardGraph) NumTasks() int      { return len(s.g.tasks) }
+func (s *shardGraph) Deps(i int) []int   { return s.g.tasks[i].deps }
+func (s *shardGraph) Cost(i int) uint64  { return s.g.tasks[i].cost }
+func (s *shardGraph) Label(i int) string { return s.g.tasks[i].name }
+
+func (s *shardGraph) Run(ctx context.Context, i, worker int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if worker < 0 || worker >= len(s.ws.scratch) {
+		return fmt.Errorf("encoders: executor worker %d outside scratch range %d", worker, len(s.ws.scratch))
+	}
+	t := &s.g.tasks[i]
+	var tc *trace.Ctx
+	if s.mu != nil {
+		tc = trace.New()
+	}
+	err := runTask(t, worker, tc)
+	if tc != nil {
+		slot := i % len(s.ws.ctxs)
+		s.mu[slot].Lock()
+		s.ws.ctxs[slot].Merge(tc)
+		s.mu[slot].Unlock()
+	}
+	if err != nil {
+		return fmt.Errorf("task %s: %w", t.name, err)
+	}
+	return nil
+}
+
+// ensureSlots grows the worker set's scratch array to n executor
+// workers. Instrumentation context slots are NOT grown: merge targets
+// stay keyed by task index modulo the configured thread count, which
+// keeps counted results independent of the executor's width.
+func (ws *workerSet) ensureSlots(se *streamEncoder, n int) error {
+	for len(ws.scratch) < n {
+		s, err := newWorkScratch(se.as, fmt.Sprintf("w%d", len(ws.scratch)))
+		if err != nil {
+			return err
+		}
+		ws.scratch = append(ws.scratch, s)
+	}
+	return nil
+}
+
+// runSharded executes the graph on an external executor instead of the
+// built-in pool.
+func runSharded(ctx context.Context, se *streamEncoder, g *graph, ws *workerSet, ex Executor) error {
+	if err := ws.ensureSlots(se, ex.Workers()); err != nil {
+		return err
+	}
+	sg := &shardGraph{g: g, ws: ws}
+	if ws.ctxs[0] != nil {
+		sg.mu = make([]sync.Mutex, len(ws.ctxs))
+	}
+	return ex.RunGraph(ctx, sg)
 }
 
 // Schedule is a measured task graph: per-task instruction costs plus
@@ -442,6 +547,7 @@ func (se *streamEncoder) addAnalysisTasks(g *graph) [][]int {
 				end = se.gh
 			}
 			id := g.add(pic, fmt.Sprintf("analyze/p%d/g%d", pic.index, gy), nil,
+				uint64((end-gy)*se.gw+3)/4,
 				func(w int, tc *trace.Ctx) error {
 					return se.analyzeRows(tc, pic, se.pics[pic.index-1], gy, end, 0, se.gw)
 				})
@@ -484,6 +590,7 @@ func (se *streamEncoder) buildSegments(ws *workerSet) *graph {
 				slot := r*colChunks + cc
 				pic.segRects[slot] = rect
 				id := g.add(pic, fmt.Sprintf("seg/p%d/r%d/c%d", pic.index, r, cc), deps,
+					uint64((rect.row1-rect.row0)*(rect.col1-rect.col0))*se.sbCost(),
 					func(w int, tc *trace.Ctx) error {
 						data, err := se.encodeSegment(w, tc, ws, pic, rect)
 						pic.segStreams[slot] = data
@@ -507,13 +614,14 @@ func (se *streamEncoder) buildSegments(ws *workerSet) *graph {
 				deps = append(deps, segAt[r+1]...)
 			}
 			id := g.add(pic, fmt.Sprintf("deblock/p%d/r%d", pic.index, r), deps,
+				uint64(cols),
 				func(w int, tc *trace.Ctx) error {
 					deblockRows(tc, pic.recY, r*sbSize, (r+1)*sbSize, pic.step)
 					return nil
 				})
 			deblockIDs = append(deblockIDs, id)
 		}
-		fin := g.add(pic, fmt.Sprintf("finalize/p%d", pic.index), segIDs,
+		fin := g.add(pic, fmt.Sprintf("finalize/p%d", pic.index), segIDs, 1,
 			func(w int, tc *trace.Ctx) error {
 				pic.finalizeBytes()
 				return se.rateUpdate(pic)
@@ -553,6 +661,7 @@ func (se *streamEncoder) buildTiles(ws *workerSet) *graph {
 				slot := tr*tileCols + tcI
 				pic.segRects[slot] = rect
 				id := g.add(pic, fmt.Sprintf("tile/p%d/t%d", pic.index, slot), prevPicDone,
+					uint64((rect.row1-rect.row0)*(rect.col1-rect.col0))*(se.sbCost()+1),
 					func(w int, tc *trace.Ctx) error {
 						if pic.index > 0 {
 							gy0 := rect.row0 * sbSize / analysisGrid
@@ -571,6 +680,7 @@ func (se *streamEncoder) buildTiles(ws *workerSet) *graph {
 			}
 		}
 		fin := g.add(pic, fmt.Sprintf("finalize/p%d", pic.index), tileIDs,
+			uint64(rows*cols)+1,
 			func(w int, tc *trace.Ctx) error {
 				deblockRows(tc, pic.recY, 0, se.ah, pic.step)
 				pic.finalizeBytes()
@@ -616,6 +726,7 @@ func (se *streamEncoder) buildFrameParallel(ws *workerSet) *graph {
 				deps = append(deps, states[pic.index-1].rowIDs[refRow])
 			}
 			id := g.add(pic, fmt.Sprintf("row/p%d/r%d", pic.index, r), deps,
+				uint64(cols)*(se.sbCost()+2),
 				func(w int, tc *trace.Ctx) error {
 					if st.sc == nil {
 						prev, prev2 := se.refsFor(pic)
@@ -691,6 +802,7 @@ func (se *streamEncoder) buildMaster(ws *workerSet) *graph {
 			deps = append(deps, prev)
 		}
 		prev = g.add(pic, fmt.Sprintf("encode/p%d", pic.index), deps,
+			uint64(se.sbRows()*se.sbCols())*(se.sbCost()+1),
 			func(w int, tc *trace.Ctx) error {
 				rect := segRect{row0: 0, row1: se.sbRows(), col0: 0, col1: se.sbCols()}
 				data, err := se.encodeSegment(w, tc, ws, pic, rect)

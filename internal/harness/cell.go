@@ -147,6 +147,9 @@ func (c Cell) run(ctx context.Context) (CellResult, error) {
 		return CellResult{Stat: st}, err
 	case CellCounted:
 		opts.NewWorkerCtx = func(int) *trace.Ctx { return trace.New() }
+		// Counting-only encodes shard below the cell when a pool governs
+		// the run; merge order is pinned, so results are schedule-proof.
+		opts.Executor = executorFrom(ctx)
 		res, err := enc.Encode(ctx, clip, opts)
 		return CellResult{Enc: res}, err
 	case CellWindow:
@@ -216,6 +219,11 @@ var cellCache = struct {
 // is still live retries (recomputing under its own ctx) instead of
 // inheriting another caller's cancellation.
 func getCell(ctx context.Context, c Cell) (CellResult, bool, error) {
+	if c.Threads < 1 {
+		// 0 and 1 mean the same encode (see encoders.Options.Threads);
+		// fold them to one cache key so the spellings share a memo entry.
+		c.Threads = 1
+	}
 	for {
 		res, hit, err := getCellOnce(ctx, c)
 		if hit && err != nil && ctx.Err() == nil && isCancellation(err) {

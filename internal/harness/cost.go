@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"vcprof/internal/encoders"
+	"vcprof/internal/video"
+)
+
+// cellCost estimates a cell's relative work for the shard pool's
+// shortest-expected-remaining-work policy. It is built from the same
+// static table the service admission layer uses (encoders.CostHint:
+// family base cost × pixels × frames × effort and CRF multipliers),
+// scaled by what the cell kind does with the encode:
+//
+//	counted, schedule  one instrumented run            ×1
+//	window             count run + recording rerun     ×2
+//	stat               run with live cache + predictor ×3
+//	pipeline           cycle-level window replay       window-sized
+//
+// Cost steers scheduling only — misestimates cost latency, never
+// correctness — so the table stays deliberately coarse.
+func cellCost(c Cell) uint64 {
+	base := uint64(1)
+	if meta, err := video.LookupClip(c.Clip); err == nil {
+		m := meta.Scale(c.Div)
+		base = encoders.CostHint(c.Family, m.Width*m.Height, c.Frames, c.CRF, c.Preset)
+	}
+	switch c.Kind {
+	case CellStat:
+		return 3 * base
+	case CellWindow:
+		return 2 * base
+	case CellPipeline:
+		// Replay cost tracks the window length, not the encode size; the
+		// divisor puts a default window in the same range as its encode.
+		w := c.WindowOps / 64
+		if w == 0 {
+			w = 1
+		}
+		return w
+	default: // CellCounted, CellSchedule
+		return base
+	}
+}

@@ -1,19 +1,23 @@
 // The experiment engine: every experiment declares its measurement grid
 // as a slice of Cells plus a deterministic assembly function; the engine
-// fans the cells out across a bounded worker pool, memoizes every cell
-// process-wide (fig4–fig7 and the RD/preset sweeps share their SVT-AV1
-// stat cells instead of recomputing them), and gathers results by cell
-// index so rendered tables are byte-identical for any worker count.
+// submits the cells as a task graph to a work-stealing shard pool
+// (internal/sched), memoizes every cell process-wide (fig4–fig7 and the
+// RD/preset sweeps share their SVT-AV1 stat cells instead of
+// recomputing them), and gathers results by cell index so rendered
+// tables are byte-identical for any worker count, steal seed, or
+// interleaving. Counted cells additionally shard below the cell: their
+// encode task graphs run on the same pool (see steal.go), so a heavy
+// cell no longer pins a worker while cheap cells queue.
 package harness
 
 import (
 	"context"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"vcprof/internal/obs"
+	"vcprof/internal/sched"
 	"vcprof/internal/telemetry"
 )
 
@@ -50,6 +54,10 @@ type Options struct {
 	// experiment completes) plus engine counters. nil disables
 	// observation at zero cost.
 	Obs *obs.Session
+	// StealSeed seeds the shard pool's victim-selection PRNG (0 means
+	// 1). Every seed yields byte-identical reports; the knob exists so
+	// that invariance is testable end to end.
+	StealSeed uint64
 }
 
 // ExperimentReport is the per-experiment slice of a Report.
@@ -109,7 +117,7 @@ func RunAll(ctx context.Context, s Scale, opts Options) (*Report, error) {
 	start := time.Now()
 	for _, e := range exps {
 		t0 := time.Now()
-		tables, cells, hits, err := runExperiment(ctx, e, s, workers, opts.Obs)
+		tables, cells, hits, err := runExperiment(ctx, e, s, workers, opts.StealSeed, opts.Obs)
 		if err != nil {
 			return rep, fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -123,7 +131,7 @@ func RunAll(ctx context.Context, s Scale, opts Options) (*Report, error) {
 }
 
 // runExperiment plans and executes one experiment.
-func runExperiment(ctx context.Context, e Experiment, s Scale, workers int, sess *obs.Session) ([]*Table, int, int, error) {
+func runExperiment(ctx context.Context, e Experiment, s Scale, workers int, seed uint64, sess *obs.Session) ([]*Table, int, int, error) {
 	if e.Plan == nil {
 		return nil, 0, 0, fmt.Errorf("harness: experiment %s has no plan", e.ID)
 	}
@@ -131,7 +139,7 @@ func runExperiment(ctx context.Context, e Experiment, s Scale, workers int, sess
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	res, hits, err := runCells(ctx, p.Cells, workers)
+	res, hits, err := runCellsSeeded(ctx, p.Cells, workers, seed)
 	if err != nil {
 		return nil, len(p.Cells), hits, err
 	}
@@ -145,70 +153,70 @@ func runExperiment(ctx context.Context, e Experiment, s Scale, workers int, sess
 	return tables, len(p.Cells), hits, err
 }
 
-// runCells evaluates a cell grid on a bounded pool. Results land at
-// their cell's index regardless of completion order, which is what
-// makes assembly deterministic. Returns the cache-hit count and the
-// first error (after all started cells drain).
+// runCells evaluates a cell grid on the work-stealing shard pool.
+// Results land at their cell's index regardless of completion order,
+// which is what makes assembly deterministic. Returns the cache-hit
+// count and the first error (after all started cells drain).
 func runCells(ctx context.Context, cells []Cell, workers int) ([]CellResult, int, error) {
+	return runCellsSeeded(ctx, cells, workers, 0)
+}
+
+// runCellsSeeded is runCells with an explicit steal seed. When the
+// context already carries a pool (a daemon's process-wide scheduler),
+// cells and their shards run on it and workers/seed are ignored;
+// otherwise a pool of the requested width is created for the run. The
+// first cell error cancels the run; runCellsSeeded returns only after
+// every started cell has settled, so no shard of an abandoned run can
+// touch the results afterwards.
+func runCellsSeeded(ctx context.Context, cells []Cell, workers int, seed uint64) ([]CellResult, int, error) {
 	res := make([]CellResult, len(cells))
 	if len(cells) == 0 {
 		return res, 0, ctx.Err()
 	}
-	cctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	sem := make(chan struct{}, workers)
-	var (
-		wg       sync.WaitGroup
-		hits     atomic.Int64
-		errMu    sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		cancel()
+	pool := sched.PoolFrom(ctx)
+	if pool == nil {
+		pool = sched.NewPool(sched.Config{Workers: workers, Seed: seed})
+		defer pool.Close()
+		ctx = sched.WithPool(ctx, pool)
 	}
-submit:
-	for i := range cells {
-		select {
-		case <-cctx.Done():
-			break submit
-		case sem <- struct{}{}:
-		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			obsOccupancyPeak.Max(uint64(engineInflight.Add(1)))
-			defer engineInflight.Add(-1)
-			//lint:ignore detnow engine progress/timing layer: lookup latency is a volatile histogram, never a table cell
-			t0 := time.Now()
-			r, hit, err := getCell(cctx, cells[i])
-			obsCellLookup.Observe(uint64(time.Since(t0).Microseconds()))
-			if err != nil {
-				fail(fmt.Errorf("cell %s: %w", cells[i], err))
-				return
-			}
-			if hit {
-				hits.Add(1)
-			}
-			res[i] = r
-		}(i)
-	}
-	wg.Wait()
-	errMu.Lock()
-	err := firstErr
-	errMu.Unlock()
-	if err == nil {
-		err = ctx.Err()
-	}
-	if err != nil {
+	var hits atomic.Int64
+	g := &cellGraph{cells: cells, res: res, hits: &hits}
+	if err := pool.RunGraph(ctx, g); err != nil {
 		return nil, int(hits.Load()), err
 	}
 	return res, int(hits.Load()), nil
+}
+
+// cellGraph presents a cell grid as a dependence-free task graph:
+// costs come from the static admission cost table, so the pool's
+// shortest-remaining-first policy starts cheap cells ahead of heavy
+// ones even before any of them shard.
+type cellGraph struct {
+	cells []Cell
+	res   []CellResult
+	hits  *atomic.Int64
+}
+
+func (g *cellGraph) NumTasks() int      { return len(g.cells) }
+func (g *cellGraph) Deps(int) []int     { return nil }
+func (g *cellGraph) Cost(i int) uint64  { return cellCost(g.cells[i]) }
+func (g *cellGraph) Label(i int) string { return g.cells[i].String() }
+
+func (g *cellGraph) Run(ctx context.Context, i, _ int) error {
+	obsOccupancyPeak.Max(uint64(engineInflight.Add(1)))
+	defer engineInflight.Add(-1)
+	//lint:ignore detnow engine progress/timing layer: lookup latency is a volatile histogram, never a table cell
+	t0 := time.Now()
+	r, hit, err := getCell(ctx, g.cells[i])
+	obsCellLookup.Observe(uint64(time.Since(t0).Microseconds()))
+	if err != nil {
+		return fmt.Errorf("cell %s: %w", g.cells[i], err)
+	}
+	if hit {
+		g.hits.Add(1)
+	}
+	g.res[i] = r
+	return nil
 }
 
 // Run executes the experiment single-threaded at the given scale — the
@@ -218,7 +226,7 @@ func (e Experiment) Run(s Scale) ([]*Table, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	tables, _, _, err := runExperiment(context.Background(), e, s, 1, nil)
+	tables, _, _, err := runExperiment(context.Background(), e, s, 1, 0, nil)
 	return tables, err
 }
 
@@ -254,7 +262,7 @@ func RunExperiment(ctx context.Context, id string, s Scale, workers int, sess *o
 	}
 	//lint:ignore detnow engine progress/timing layer: ExperimentReport.Wall is operator reporting, never a table cell (same contract as RunAll)
 	t0 := time.Now()
-	tables, cells, hits, err := runExperiment(ctx, e, s, workers, sess)
+	tables, cells, hits, err := runExperiment(ctx, e, s, workers, 0, sess)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", e.ID, err)
 	}

@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"context"
+
+	"vcprof/internal/encoders"
+	"vcprof/internal/sched"
+)
+
+// The bridge between the cell engine and sub-cell sharding: a counted
+// cell running on (or under a context that carries) a shard pool hands
+// its encode task graph back to that pool through the encoders'
+// Executor hook. Cell-level tasks forked this way are fork-join
+// nested: the pool worker that started the cell keeps executing shards
+// — its own or stolen — while the cell's graph completes, so sharding
+// adds parallelism without adding goroutines or deadlock risk.
+//
+// Only counted cells shard. Stat, window and pipeline cells attach
+// live cache-hierarchy and branch-predictor sinks whose simulated
+// state depends on instruction interleaving; the perf façade pins
+// those to the serial executor (see perf.Stat), which is what keeps
+// their golden counters byte-identical.
+
+// poolExecutor adapts a sched.Pool to the encoders.Executor surface.
+// encoders.TaskGraph and sched.Graph are structurally identical, so
+// the handoff is direct: the encode's shards become pool tasks.
+type poolExecutor struct {
+	p *sched.Pool
+}
+
+func (e poolExecutor) Workers() int { return e.p.Workers() }
+
+func (e poolExecutor) RunGraph(ctx context.Context, g encoders.TaskGraph) error {
+	return e.p.RunGraph(ctx, g)
+}
+
+// executorFrom returns the Executor for a cell evaluation context, or
+// nil when no pool governs it (direct Encode calls, tests).
+func executorFrom(ctx context.Context) encoders.Executor {
+	if p := sched.PoolFrom(ctx); p != nil {
+		return poolExecutor{p: p}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+)
+
+// Task claim states. All transitions happen under the pool mutex, so
+// every task is claimed and completed exactly once.
+const (
+	taskBlocked uint8 = iota // dependencies outstanding
+	taskReady                // queued (on a deque and its run's ready stack)
+	taskRunning              // claimed by a worker
+	taskDone                 // executed or skipped after cancellation
+)
+
+// run is the pool-side bookkeeping for one RunGraph call.
+type run struct {
+	g      Graph
+	ctx    context.Context
+	cancel context.CancelFunc
+	seq    uint64
+
+	n          int
+	state      []uint8
+	indeg      []int32
+	dependents [][]int32
+	home       []int32 // worker whose deque holds the task's ready entry
+	ready      []int32 // ready stack (LIFO), lazily pruned of claimed entries
+
+	remaining uint64 // cost of tasks not yet done
+	running   int
+	done      int
+	firstErr  error
+	finished  bool
+	doneCh    chan struct{}
+}
+
+// newRun validates the graph's topological numbering and builds the
+// dependence bookkeeping.
+func newRun(ctx context.Context, g Graph) (*run, error) {
+	n := g.NumTasks()
+	rctx, cancel := context.WithCancel(ctx)
+	r := &run{
+		g: g, ctx: rctx, cancel: cancel, n: n,
+		state:      make([]uint8, n),
+		indeg:      make([]int32, n),
+		dependents: make([][]int32, n),
+		home:       make([]int32, n),
+		doneCh:     make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		deps := g.Deps(i)
+		for _, d := range deps {
+			if d < 0 || d >= i {
+				cancel()
+				return nil, fmt.Errorf("sched: task %d (%s) depends on task %d: graphs must be topologically numbered", i, g.Label(i), d)
+			}
+			r.dependents[d] = append(r.dependents[d], int32(i))
+		}
+		r.indeg[i] = int32(len(deps))
+		r.remaining += r.cost(i)
+	}
+	return r, nil
+}
+
+// cost returns the task's cost estimate, clamped to at least 1 so
+// remaining-work comparisons always make progress.
+func (r *run) cost(t int) uint64 {
+	if c := r.g.Cost(t); c > 0 {
+		return c
+	}
+	return 1
+}
+
+// takeReady pops the run's most recently readied task, pruning entries
+// already claimed through a deque. Caller holds the pool mutex.
+func (r *run) takeReady() (int32, bool) {
+	for len(r.ready) > 0 {
+		t := r.ready[len(r.ready)-1]
+		r.ready = r.ready[:len(r.ready)-1]
+		if r.state[t] == taskReady {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// hasReady reports whether any unclaimed ready task remains, pruning
+// stale stack entries as a side effect. Caller holds the pool mutex.
+func (r *run) hasReady() bool {
+	for len(r.ready) > 0 {
+		if r.state[r.ready[len(r.ready)-1]] == taskReady {
+			return true
+		}
+		r.ready = r.ready[:len(r.ready)-1]
+	}
+	return false
+}
+
+// readyLen counts unclaimed ready tasks. Caller holds the pool mutex.
+func (r *run) readyLen() int {
+	n := 0
+	for _, t := range r.ready {
+		if r.state[t] == taskReady {
+			n++
+		}
+	}
+	return n
+}

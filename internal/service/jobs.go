@@ -23,6 +23,16 @@ type job struct {
 	spec JobSpec
 	key  string
 	seq  uint64 // queue arrival order, assigned by queue.push
+	// cost is the static admission cost estimate (spec.EstimatedCost)
+	// and class its size bucket for the queue-wait histograms. Both are
+	// scheduling hints: they steer pop order and telemetry, and are
+	// excluded from the canonical spec, so they never touch the key or
+	// the result bytes.
+	cost  uint64
+	class costClass
+	// ocost is the cost the queue actually orders by: cost under the
+	// sjf policy, 0 under fifo. Written once by queue.push, with seq.
+	ocost uint64
 	// enqueuedAt stamps admission for the queue-wait histogram —
 	// telemetry only, never part of the result document. Written once
 	// at construction, before the job is published to the queue.
@@ -34,7 +44,9 @@ type job struct {
 }
 
 func newJob(spec JobSpec) *job {
-	return &job{spec: spec, key: spec.Key(), state: StateQueued, done: make(chan struct{}), enqueuedAt: time.Now()}
+	cost := spec.EstimatedCost()
+	return &job{spec: spec, key: spec.Key(), cost: cost, class: classOf(cost),
+		state: StateQueued, done: make(chan struct{}), enqueuedAt: time.Now()}
 }
 
 // jobShards is the stripe count of the in-flight table. Keys are

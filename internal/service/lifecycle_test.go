@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -427,7 +428,6 @@ func TestMetricsRenders(t *testing.T) {
 	text := string(body)
 	for _, want := range []string{
 		"# TYPE vcprof_svc_jobs_submitted counter",
-		"vcprof_svc_jobs_submitted 1",
 		"vcprof_svc_store_put_bytes",
 		"vcprof_svc_queue_depth",
 		"vcprof_svc_store_objects 1",
@@ -435,6 +435,11 @@ func TestMetricsRenders(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+	// The submit counter is process-global, so other tests in the
+	// package contribute — require a positive value, not an exact one.
+	if !regexp.MustCompile(`(?m)^vcprof_svc_jobs_submitted [1-9]`).MatchString(text) {
+		t.Error("/metrics missing a positive vcprof_svc_jobs_submitted")
 	}
 	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
 		t.Errorf("Content-Type %q not Prometheus text v0.0.4", ct)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"vcprof/internal/obs"
+	"vcprof/internal/sched"
 	"vcprof/internal/telemetry"
 )
 
@@ -40,6 +41,23 @@ type Config struct {
 	SampleInterval time.Duration
 	// SeriesCap bounds the ring buffer (default 1024 samples).
 	SeriesCap int
+	// ShardWorkers sizes the work-stealing shard pool every job's cells
+	// and encode shards run on (default: Workers). The pool is shared
+	// across jobs — that sharing is what lets a light job's shards
+	// interleave with a heavy encode already in flight.
+	ShardWorkers int
+	// DisableSharding turns the shard pool off: jobs then run their
+	// cells serially inside their worker goroutine, the pre-scheduler
+	// behavior. Result bytes are identical either way; the knob exists
+	// for A/B latency comparison (see scripts/sched_smoke.sh).
+	DisableSharding bool
+	// StealSeed seeds the shard pool's victim-selection PRNG (0 means
+	// 1). Any seed serves byte-identical results.
+	StealSeed uint64
+	// Admission selects the queue policy: "sjf" (the default) orders
+	// equal-priority jobs by their static cost estimate, shortest
+	// first; "fifo" by arrival alone.
+	Admission string
 }
 
 func (c *Config) fill() {
@@ -58,6 +76,12 @@ func (c *Config) fill() {
 	if c.SeriesCap < 1 {
 		c.SeriesCap = 1024
 	}
+	if c.ShardWorkers < 1 {
+		c.ShardWorkers = c.Workers
+	}
+	if c.Admission == "" {
+		c.Admission = "sjf"
+	}
 }
 
 // Server is the vcprofd core: admission control, the job table, the
@@ -71,6 +95,7 @@ type Server struct {
 	jobs  *jobTable
 	board *traceBoard
 	tele  *teleBoard
+	pool  *sched.Pool // shared shard scheduler; nil when sharding is disabled
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -90,6 +115,11 @@ func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 	if cfg.StoreDir == "" {
 		return nil, fmt.Errorf("service: Config.StoreDir is required")
 	}
+	switch cfg.Admission {
+	case "sjf", "fifo":
+	default:
+		return nil, fmt.Errorf("service: unknown admission policy %q (want \"sjf\" or \"fifo\")", cfg.Admission)
+	}
 	store, err := OpenStore(cfg.StoreDir, cfg.StoreMaxBytes)
 	if err != nil {
 		return nil, err
@@ -97,10 +127,17 @@ func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:         cfg,
 		store:       store,
-		q:           newQueue(cfg.QueueCap),
+		q:           newQueue(cfg.QueueCap, cfg.Admission == "sjf"),
 		jobs:        newJobTable(),
-		board:       newTraceBoard(cfg.Obs, cfg.Workers),
+		board:       newTraceBoard(cfg.Obs, cfg.Workers, cfg.ShardWorkers),
 		samplerStop: make(chan struct{}),
+	}
+	if !cfg.DisableSharding {
+		s.pool = sched.NewPool(sched.Config{
+			Workers:  cfg.ShardWorkers,
+			Seed:     cfg.StealSeed,
+			Observer: s.board.shardObserver(),
+		})
 	}
 	s.tele = newTeleBoard(s, cfg.SeriesCap)
 	s.baseCtx, s.baseCancel = context.WithCancel(ctx)
@@ -172,10 +209,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.baseCancel()
+	if s.pool != nil {
+		// After the worker WaitGroup drains no job can submit new graphs;
+		// Close waits for the pool's standing workers to exit.
+		s.pool.Close()
+	}
 	if ferr := s.store.Flush(); err == nil {
 		err = ferr
 	}
 	return err
+}
+
+// SchedStats snapshots the shard pool's scheduling counters; ok is
+// false when sharding is disabled.
+func (s *Server) SchedStats() (sched.Stats, bool) {
+	if s.pool == nil {
+		return sched.Stats{}, false
+	}
+	return s.pool.Stats(), true
 }
 
 // Handler returns the HTTP surface.

@@ -120,8 +120,10 @@ func (s *JobSpec) Validate() error {
 		if lo, hi, _ := enc.PresetRange(); s.Preset < lo || s.Preset > hi {
 			return fmt.Errorf("service: %s preset %d out of range [%d, %d]", s.Family, s.Preset, lo, hi)
 		}
-		if s.Threads < 1 || s.Threads > 16 {
-			return fmt.Errorf("service: threads %d out of range [1, 16]", s.Threads)
+		// 0 threads is the 1-thread default (encoders.Options.Threads);
+		// Normalize folds it, and direct Validate callers accept it too.
+		if s.Threads < 0 || s.Threads > 16 {
+			return fmt.Errorf("service: threads %d out of range [0, 16]", s.Threads)
 		}
 	case KindExperiment:
 		if _, err := harness.Lookup(s.Experiment); err != nil {
@@ -156,6 +158,69 @@ func (s *JobSpec) Canonical() []byte {
 func (s *JobSpec) Key() string {
 	sum := sha256.Sum256(s.Canonical())
 	return hex.EncodeToString(sum[:])
+}
+
+// Experiment cost constants: a registered experiment runs a whole cell
+// grid, so either scale outranks any single encode the admission table
+// can produce (the largest encode spec costs well under 2³²).
+const (
+	expQuickCost uint64 = 1 << 32
+	expFullCost  uint64 = 1 << 36
+)
+
+// EstimatedCost is the admission-control cost estimate of a normalized
+// spec: the static (resolution × frames × family × effort) table from
+// encoders.CostHint for encode jobs, and large scale-ranked constants
+// for experiment jobs. It orders the queue under the sjf policy and
+// buckets the queue-wait histograms; it is derived, never serialized,
+// so the content address is identical whichever policy admitted the
+// job.
+func (s *JobSpec) EstimatedCost() uint64 {
+	switch s.Kind {
+	case KindEncode:
+		meta, err := video.LookupClip(s.Clip)
+		if err != nil {
+			return 1
+		}
+		m := meta.Scale(s.ScaleDiv)
+		return encoders.CostHint(encoders.Family(s.Family), m.Width*m.Height, s.Frames, s.CRF, s.Preset)
+	case KindExperiment:
+		if s.Quick {
+			return expQuickCost
+		}
+		return expFullCost
+	}
+	return 1
+}
+
+// costClass buckets job costs for the queue-wait-by-size histograms,
+// which is what makes "do light jobs still wait behind heavy ones?"
+// answerable from /metrics alone.
+type costClass uint8
+
+const (
+	classSmall costClass = iota
+	classMedium
+	classLarge
+)
+
+// Class thresholds, in CostHint units: a default-scale x264 encode
+// lands small, the slower families land medium, 4×-resolution or
+// long-frame encodes and all experiments land large.
+const (
+	classMediumMin = 1 << 19
+	classLargeMin  = 1 << 23
+)
+
+func classOf(cost uint64) costClass {
+	switch {
+	case cost < classMediumMin:
+		return classSmall
+	case cost < classLargeMin:
+		return classMedium
+	default:
+		return classLarge
+	}
 }
 
 // cell lowers an encode spec onto the harness cell grid.

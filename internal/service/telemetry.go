@@ -19,6 +19,16 @@ import (
 var (
 	obsJobLatencyMS = obs.NewVolatileHistogram("svc.job.latency_ms", telemetry.LatencyBucketsMS)
 	obsQueueWaitMS  = obs.NewVolatileHistogram("svc.queue.wait_ms", telemetry.LatencyBucketsMS)
+
+	// Queue wait split by job size class: the admission layer's report
+	// card. Under fifo a heavy burst drags the small-class tail up with
+	// it; under sjf the small class stays flat — that separation is what
+	// the tail-latency experiment reads off these.
+	obsQueueWaitClassMS = [...]*obs.Histogram{
+		classSmall:  obs.NewVolatileHistogram("svc.queue.wait_ms.small", telemetry.LatencyBucketsMS),
+		classMedium: obs.NewVolatileHistogram("svc.queue.wait_ms.medium", telemetry.LatencyBucketsMS),
+		classLarge:  obs.NewVolatileHistogram("svc.queue.wait_ms.large", telemetry.LatencyBucketsMS),
+	}
 )
 
 // maxJobAccumulators bounds the per-job top-down retention: the oldest
@@ -65,6 +75,12 @@ func seriesGauges(s *Server, b *teleBoard) []telemetry.Gauge {
 		{Name: "svc.store.objects", Sample: func() float64 { return float64(s.store.Stats().Objects) }},
 		{Name: "svc.store.bytes", Sample: func() float64 { return float64(s.store.Stats().Bytes) }},
 		{Name: "svc.cells.entries", Sample: func() float64 { return float64(harness.CellCacheStats().Entries) }},
+	}
+	if s.pool != nil {
+		gs = append(gs,
+			telemetry.Gauge{Name: "svc.sched.active", Sample: func() float64 { return float64(s.pool.Stats().Active) }},
+			telemetry.Gauge{Name: "svc.sched.queued", Sample: func() float64 { return float64(s.pool.Stats().Queued) }},
+		)
 	}
 	for st := trace.Stage(0); st < trace.NumStages; st++ {
 		h := obs.FindHistogram(encoders.StageHistogramName(st))

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vcprof/internal/obs"
+	"vcprof/internal/sched"
 	"vcprof/internal/uarch/topdown"
 )
 
@@ -42,7 +43,9 @@ func (s *Server) runJob(idx int, j *job) {
 		return
 	}
 	if !j.enqueuedAt.IsZero() {
-		obsQueueWaitMS.Observe(uint64(time.Since(j.enqueuedAt).Milliseconds()))
+		wait := uint64(time.Since(j.enqueuedAt).Milliseconds())
+		obsQueueWaitMS.Observe(wait)
+		obsQueueWaitClassMS[j.class].Observe(wait)
 	}
 	s.tele.running.Add(1)
 	defer s.tele.running.Add(-1)
@@ -54,6 +57,11 @@ func (s *Server) runJob(idx int, j *job) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	ctx = topdown.WithAccumulator(ctx, s.tele.jobAcc(j.key))
 	ctx = topdown.WithAccumulator(ctx, s.tele.agg)
+	if s.pool != nil {
+		// The job's cells — and, below them, its encode shards — run on
+		// the shared shard pool instead of serially in this goroutine.
+		ctx = sched.WithPool(ctx, s.pool)
+	}
 	var jobSess *obs.Session
 	if s.board.enabled() {
 		jobSess = obs.NewSession()
@@ -90,9 +98,10 @@ func (s *Server) runJob(idx int, j *job) {
 type traceBoard struct {
 	sess *obs.Session // nil = tracing disabled
 
-	mu      sync.Mutex
-	lanes   []*obs.Trace
-	adopted []*obs.Session // completed per-job sessions, bounded ring
+	mu         sync.Mutex
+	lanes      []*obs.Trace
+	shardLanes []*obs.Trace   // one per shard-pool worker
+	adopted    []*obs.Session // completed per-job sessions, bounded ring
 }
 
 // maxAdoptedSessions bounds the per-job sessions the profile
@@ -100,7 +109,7 @@ type traceBoard struct {
 // profile, keeping daemon memory flat under sustained traffic.
 const maxAdoptedSessions = 256
 
-func newTraceBoard(sess *obs.Session, workers int) *traceBoard {
+func newTraceBoard(sess *obs.Session, workers, shardWorkers int) *traceBoard {
 	if sess == nil {
 		return &traceBoard{}
 	}
@@ -111,7 +120,41 @@ func newTraceBoard(sess *obs.Session, workers int) *traceBoard {
 	for i := range lanes {
 		lanes[i] = sess.Lane("worker-" + strconv.Itoa(i))
 	}
-	return &traceBoard{sess: sess, lanes: lanes}
+	shardLanes := make([]*obs.Trace, shardWorkers)
+	for i := range shardLanes {
+		shardLanes[i] = sess.Lane("shard-" + strconv.Itoa(i))
+	}
+	return &traceBoard{sess: sess, lanes: lanes, shardLanes: shardLanes}
+}
+
+// Span names for shard-pool lanes in the Chrome trace.
+var (
+	obsShardRunName   = obs.Name("shard/run")
+	obsShardStealName = obs.Name("shard/steal")
+)
+
+// shardObserver returns the pool observer feeding per-shard spans onto
+// the shard lanes, or nil (no observation overhead) when tracing is
+// disabled. Span ticks are the shard's modeled cost — never host time.
+func (b *traceBoard) shardObserver() func(sched.TaskEvent) {
+	if b.sess == nil {
+		return nil
+	}
+	return func(ev sched.TaskEvent) {
+		name := obsShardRunName
+		if ev.Stolen {
+			name = obsShardStealName
+		}
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if ev.Worker < 0 || ev.Worker >= len(b.shardLanes) {
+			return
+		}
+		tr := b.shardLanes[ev.Worker]
+		sp := tr.BeginArg(name, ev.Label)
+		tr.Advance(1 + ev.Cost)
+		sp.End()
+	}
 }
 
 func (b *traceBoard) enabled() bool {
