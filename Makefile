@@ -9,7 +9,11 @@
 GO ?= go
 RACE_TIMEOUT ?= 60m
 FUZZTIME ?= 10s
-BENCH_OUT ?= BENCH_pr5
+# Benchmark trajectory file for the current PR; override per run
+# (`make bench BENCH_OUT=BENCH_prN`) when cutting a new trajectory.
+# Smoke targets that compare against a specific PR's numbers pin their
+# own BENCH_OUT below, so bumping this default cannot repoint them.
+BENCH_OUT ?= BENCH_pr7
 
 # Every stdlib vet pass, spelled out (from `go tool vet help`) so a
 # toolchain that grows a new pass fails loudly here instead of silently
@@ -21,9 +25,9 @@ VET_PASSES = -appends -asmdecl -assign -atomic -bools -buildtag \
 	-stringintconv -structtag -testinggoroutine -tests -timeformat \
 	-unmarshal -unreachable -unsafeptr -unusedresult
 
-.PHONY: ci fmt vet build lint test race golden bench bench-short fuzz-smoke serve-smoke telemetry-smoke sched-smoke
+.PHONY: ci fmt vet build lint lint-fixtures test race golden bench bench-short fuzz-smoke serve-smoke telemetry-smoke sched-smoke
 
-ci: fmt vet build lint test fuzz-smoke bench-short serve-smoke telemetry-smoke sched-smoke race
+ci: fmt vet build lint lint-fixtures test fuzz-smoke bench-short serve-smoke telemetry-smoke sched-smoke race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -37,10 +41,22 @@ vet:
 # vclint enforces the determinism and concurrency invariants documented
 # in DESIGN.md §6 (wall-clock reads, map-order-dependent output,
 # randomness sources, mutex discipline, kernel-loop allocations,
-# host-environment reads). Findings are fix-by-hand; suppress a
-# deliberate one with //lint:ignore <analyzer> <reason>.
+# host-environment reads, plus the whole-program passes: detflow taint
+# reachability, lockorder deadlock cycles, shardpure task-body purity).
+# The ./... pattern covers vclint's own source, so the linter
+# self-checks. Findings are fix-by-hand; suppress a deliberate one with
+# //lint:ignore <analyzer> <reason> (for chain findings, on the sink's
+# enclosing function declaration).
 lint:
 	$(GO) run ./cmd/vclint ./...
+
+# Fixture liveness gate: every analyzer's want-comment fixture must
+# keep producing exactly its annotated findings, and each fixture
+# package must still trip the CLI with exit 1. A refactor that silently
+# blinds an analyzer fails here, not in review.
+lint-fixtures:
+	$(GO) test ./internal/analysis -run 'TestFixtures'
+	$(GO) test ./cmd/vclint -run TestFixturePackagesTrip
 
 build:
 	$(GO) build ./...
@@ -83,7 +99,7 @@ serve-smoke:
 # mid-load (top-down sums to 1 +/- 0.001, p99 >= p50); series and
 # folded-stack surfaces must serve. See scripts/telemetry_smoke.sh.
 telemetry-smoke:
-	BENCH_OUT=$(BENCH_OUT) GO="$(GO)" sh scripts/telemetry_smoke.sh
+	BENCH_OUT=BENCH_pr5 GO="$(GO)" sh scripts/telemetry_smoke.sh
 
 # End-to-end smoke of the shard scheduler: the same seeded bimodal
 # vcload mix against a baseline daemon (sharding off, fifo) and a

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vclint [-json] [-list] [packages]
+//	vclint [-json] [-why] [-list] [packages]
 //
 // Packages are directory patterns relative to the working directory
 // ("./...", "./internal/harness", "internal/analysis/testdata/detnow");
@@ -13,9 +13,14 @@
 //
 // Exit status: 0 when no findings, 1 when findings were reported, 2 on
 // usage, load, or type-check errors. Findings print one per line as
-// file:line:col: analyzer: message, or as one JSON object with -json.
+// file:line:col: analyzer: message, or as one JSON object with -json
+// (whole-program findings carry their root→sink call chain in a
+// "chain" array). -why appends the call chain to each chain-carrying
+// text finding, one indented hop per line.
 // Suppress an individual finding with //lint:ignore <analyzer> <reason>
-// on the same line or the line above.
+// on the same line or the line above; chain-carrying findings may also
+// be suppressed on the declaration line of the function containing the
+// sink (the chain's last hop).
 package main
 
 import (
@@ -35,9 +40,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vclint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON object")
+	why := fs.Bool("why", false, "print the root→sink call chain under each whole-program finding")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: vclint [-json] [-list] [packages]\n")
+		fmt.Fprintf(stderr, "usage: vclint [-json] [-why] [-list] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -71,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	} else {
-		analysis.WriteText(stdout, diags)
+		analysis.WriteText(stdout, diags, *why)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "vclint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

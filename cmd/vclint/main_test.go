@@ -27,6 +27,7 @@ func TestExitCodes(t *testing.T) {
 		{"clean-fixture", []string{fixtures + "clean"}, 0},
 		{"findings", []string{fixtures + "detrand"}, 1},
 		{"missing-dir", []string{fixtures + "nosuch"}, 2},
+		{"broken-fixture", []string{fixtures + "broken"}, 2},
 		{"bad-flag", []string{"-definitely-not-a-flag"}, 2},
 		{"list", []string{"-list"}, 0},
 	}
@@ -43,18 +44,102 @@ func TestExitCodes(t *testing.T) {
 // TestFixturePackagesTrip: every analyzer's fixture package must make
 // the CLI exit non-zero — the acceptance contract for the fixtures.
 func TestFixturePackagesTrip(t *testing.T) {
-	for _, dir := range []string{
-		"detnow", "detmaprange", "detrand", "lockheld", "hotalloc", "detenv",
+	for _, tc := range []struct {
+		pattern  string // fixture pattern under testdata
+		analyzer string // analyzer that must be attributed in output
+	}{
+		{"detnow", "detnow"},
+		{"detmaprange", "detmaprange"},
+		{"detrand", "detrand"},
+		{"lockheld", "lockheld"},
+		{"hotalloc", "hotalloc"},
+		{"detenv", "detenv"},
+		{"detflow/...", "detflow"},
+		{"lockorder", "lockorder"},
+		{"shardpure", "shardpure"},
 	} {
-		t.Run(dir, func(t *testing.T) {
-			code, stdout, _ := runCLI(t, fixtures+dir)
+		t.Run(tc.analyzer, func(t *testing.T) {
+			code, stdout, _ := runCLI(t, fixtures+tc.pattern)
 			if code != 1 {
 				t.Fatalf("exit = %d, want 1", code)
 			}
-			if !strings.Contains(stdout, dir+": ") {
-				t.Errorf("output does not attribute findings to %s:\n%s", dir, stdout)
+			if !strings.Contains(stdout, tc.analyzer+": ") {
+				t.Errorf("output does not attribute findings to %s:\n%s", tc.analyzer, stdout)
 			}
 		})
+	}
+}
+
+// TestWhyOutput: -why must follow a detflow finding with its root→sink
+// call chain, root first, one indented hop per line — the acceptance
+// contract for whole-program diagnostics.
+func TestWhyOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-why", fixtures+"detflow/...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "detflow: wall-clock time.Since reachable from deterministic root detflow.DetRootCell") {
+		t.Fatalf("missing cross-package detflow finding:\n%s", stdout)
+	}
+	var sawRoot, sawSink bool
+	for _, line := range strings.Split(stdout, "\n") {
+		if !strings.HasPrefix(line, "\t") {
+			continue // chain hops are the indented lines
+		}
+		if strings.Contains(line, "detflow.DetRootCell (") {
+			sawRoot = true
+		}
+		if sawRoot && strings.Contains(line, "→") && strings.Contains(line, "inner.tick (") {
+			sawSink = true
+		}
+	}
+	if !sawRoot || !sawSink {
+		t.Errorf("-why chain missing root and/or sink hop (root=%v sink=%v):\n%s", sawRoot, sawSink, stdout)
+	}
+	// Without -why the chains must stay off the human output.
+	_, plain, _ := runCLI(t, fixtures+"detflow/...")
+	if strings.Contains(plain, "→") {
+		t.Errorf("chain hops printed without -why:\n%s", plain)
+	}
+}
+
+// TestJSONChain: whole-program findings carry their call chain in the
+// JSON output; per-package findings omit the key entirely.
+func TestJSONChain(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", fixtures+"detflow/...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var doc struct {
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			Chain    []struct {
+				Func string `json:"func"`
+				File string `json:"file"`
+				Line int    `json:"line"`
+				Col  int    `json:"col"`
+			} `json:"chain"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("-json output unparseable: %v\n%s", err, stdout)
+	}
+	var chained bool
+	for _, f := range doc.Findings {
+		if f.Analyzer != "detflow" {
+			continue
+		}
+		if len(f.Chain) == 0 {
+			t.Errorf("detflow finding without chain: %+v", f)
+			continue
+		}
+		chained = true
+		if first := f.Chain[0]; !strings.HasPrefix(first.Func, "detflow.DetRoot") || first.Line == 0 {
+			t.Errorf("chain does not start at a root hop: %+v", first)
+		}
+	}
+	if !chained {
+		t.Fatal("no detflow finding with a chain in JSON output")
 	}
 }
 
@@ -102,6 +187,7 @@ func TestListOutput(t *testing.T) {
 	_, stdout, _ := runCLI(t, "-list")
 	for _, name := range []string{
 		"detnow", "detmaprange", "detrand", "lockheld", "hotalloc", "detenv",
+		"detflow", "lockorder", "shardpure",
 	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout)

@@ -12,8 +12,11 @@ import (
 	"go/types"
 )
 
-// Analyzer is one named check. Run inspects a fully type-checked
-// package via the Pass and reports findings through pass.Reportf.
+// Analyzer is one named check. Per-package analyzers set Run and
+// inspect one type-checked package at a time; whole-program analyzers
+// set RunProgram instead and see every loaded package plus the module
+// import closure at once (call graphs, cross-package taint). Exactly
+// one of the two should be set.
 type Analyzer struct {
 	// Name identifies the analyzer in output and in //lint:ignore
 	// directives. Lower-case, no spaces.
@@ -22,6 +25,8 @@ type Analyzer struct {
 	Doc string
 	// Run performs the check on one package.
 	Run func(*Pass)
+	// RunProgram performs the check once over the whole program.
+	RunProgram func(*ProgramPass)
 }
 
 // Pass carries one (package, analyzer) unit of work.
@@ -41,6 +46,14 @@ func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportfChain(pos, nil, format, args...)
+}
+
+// ReportfChain records a finding at pos carrying a call chain. The
+// chain's last hop must be the function containing pos: it is the one
+// extra place a //lint:ignore directive may suppress the finding from
+// (on or above that function's declaration line).
+func (p *Pass) ReportfChain(pos token.Pos, chain []ChainHop, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
@@ -48,17 +61,54 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Line:     position.Line,
 		Col:      position.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
+// ProgramPass carries one (program, analyzer) unit of work for
+// whole-program analyzers.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// ReportfChain records a whole-program finding at pos with its call
+// chain (nil for chainless findings such as lock cycles reported at an
+// acquisition site).
+func (p *ProgramPass) ReportfChain(pos token.Pos, chain []ChainHop, format string, args ...any) {
+	position := p.Prog.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
 	})
 }
 
 // Diagnostic is one finding, addressable to file:line:col. The JSON
-// field names are part of vclint's output contract (tested).
+// field names are part of vclint's output contract (tested). Chain,
+// when present, is the root→sink call path that makes the finding
+// reachable; `vclint -why` prints it and the JSON output carries it.
 type Diagnostic struct {
-	Analyzer string `json:"analyzer"`
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Message  string `json:"message"`
+	Analyzer string     `json:"analyzer"`
+	File     string     `json:"file"`
+	Line     int        `json:"line"`
+	Col      int        `json:"col"`
+	Message  string     `json:"message"`
+	Chain    []ChainHop `json:"chain,omitempty"`
+}
+
+// ChainHop is one function on a diagnostic's call chain, positioned at
+// its declaration.
+type ChainHop struct {
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
 }
 
 // String renders the conventional compiler-style line.

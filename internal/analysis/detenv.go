@@ -4,6 +4,19 @@ import (
 	"go/ast"
 )
 
+// hostEnvReads maps package path → function names whose return values
+// depend on the host environment. detenv bans them per package; detflow
+// bans them anywhere reachable from a deterministic root.
+var hostEnvReads = map[string]map[string]bool{
+	"os": {
+		"Getenv": true, "LookupEnv": true, "Environ": true,
+		"Hostname": true, "Getpid": true, "Getppid": true,
+		"Getwd": true, "UserHomeDir": true, "UserCacheDir": true,
+		"UserConfigDir": true,
+	},
+	"runtime": {"NumCPU": true, "GOMAXPROCS": true},
+}
+
 // NewDetEnv builds the detenv analyzer: values read from the host
 // environment — environment variables, hostname, pid, CPU count — vary
 // between machines and runs, so any measurement or table they reach is
@@ -13,15 +26,7 @@ import (
 // result down as explicit, recorded configuration.
 func NewDetEnv(paths []string) *Analyzer {
 	scope := pathScope{name: "detenv", paths: paths}
-	banned := map[string]map[string]bool{
-		"os": {
-			"Getenv": true, "LookupEnv": true, "Environ": true,
-			"Hostname": true, "Getpid": true, "Getppid": true,
-			"Getwd": true, "UserHomeDir": true, "UserCacheDir": true,
-			"UserConfigDir": true,
-		},
-		"runtime": {"NumCPU": true, "GOMAXPROCS": true},
-	}
+	banned := hostEnvReads
 	az := &Analyzer{
 		Name: "detenv",
 		Doc:  "forbid host-environment reads in deterministic packages",

@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetFlowConfig names the deterministic roots whose whole call trees
+// must be free of volatile sources, and the packages in which reachable
+// volatile sites are reported.
+type DetFlowConfig struct {
+	// Funcs are package-level roots, "import/path.Func".
+	Funcs []string
+	// Methods are method roots, "import/path.Type.Method" (the receiver
+	// type's name, pointer or value receiver).
+	Methods []string
+	// IfaceImpls name interface methods, "import/path.Iface.Method":
+	// every program type implementing the interface contributes its
+	// method as a root. This is how scheduler task bodies are tainted —
+	// anything runnable by the pool must be deterministic.
+	IfaceImpls []string
+	// SinkPaths are the import-path prefixes volatile sites are
+	// reported in (the deterministic core). Reachable sites in other
+	// packages — the serving and telemetry layers, which own wall-clock
+	// legitimately — are not findings.
+	SinkPaths []string
+}
+
+// NewDetFlow builds the detflow analyzer: whole-program determinism
+// taint. Every configured root is a function whose result must be
+// byte-reproducible; detflow walks the call graph from the roots and
+// reports any reachable volatile source — wall-clock reads, randomness,
+// host-environment reads, map iteration with order-dependent effects,
+// goroutine-captured writes — with the root→sink call chain attached
+// (`vclint -why` prints it). Unlike the per-package det* analyzers, a
+// leak three calls deep in a helper package is found even though the
+// helper itself is not configured anywhere.
+//
+// Suppression is chain-aware: //lint:ignore detflow <reason> on (or
+// above) the declaration of the function containing the site silences
+// every finding inside that function, but directives on intermediate
+// callers or roots never suppress — a justified exemption must sit next
+// to the volatile code it justifies.
+func NewDetFlow(cfg DetFlowConfig) *Analyzer {
+	scope := pathScope{name: "detflow", paths: cfg.SinkPaths}
+	az := &Analyzer{
+		Name: "detflow",
+		Doc:  "forbid volatile sources (clock, rand, env, map order, racy writes) reachable from deterministic roots",
+	}
+	az.RunProgram = func(pp *ProgramPass) {
+		g := pp.Prog.CallGraph()
+		roots := detflowRoots(pp.Prog, g, cfg)
+		if len(roots) == 0 {
+			return
+		}
+		reached := g.reachFrom(roots)
+		for _, n := range g.Nodes {
+			if _, ok := reached[n]; !ok {
+				continue
+			}
+			if !scope.in(n.Pkg.Path) {
+				continue
+			}
+			chain := g.chainTo(reached, n)
+			if len(chain) == 0 {
+				continue
+			}
+			root := chain[0].Func
+			for _, site := range volatileSites(n) {
+				pp.ReportfChain(site.pos, chain,
+					"%s reachable from deterministic root %s (%d hops); break the call path or justify with //lint:ignore detflow on the enclosing function",
+					site.what, root, len(chain))
+			}
+		}
+	}
+	return az
+}
+
+// detflowRoots resolves the configured root names against the call
+// graph, in node (declaration) order so BFS tie-breaks are stable.
+func detflowRoots(prog *Program, g *CallGraph, cfg DetFlowConfig) []*Node {
+	funcs := make(map[string]bool, len(cfg.Funcs))
+	for _, s := range cfg.Funcs {
+		funcs[s] = true
+	}
+	methods := make(map[string]bool, len(cfg.Methods))
+	for _, s := range cfg.Methods {
+		methods[s] = true
+	}
+	type ifaceMethod struct {
+		iface  *types.Interface
+		method string
+	}
+	var ifaces []ifaceMethod
+	for _, spec := range cfg.IfaceImpls {
+		if iface, m := lookupIfaceMethod(prog, spec); iface != nil {
+			ifaces = append(ifaces, ifaceMethod{iface, m})
+		}
+	}
+	var roots []*Node
+	for _, n := range g.Nodes {
+		fn := n.Func
+		if fn.Pkg() == nil {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		match := false
+		if sig.Recv() == nil {
+			match = funcs[fn.Pkg().Path()+"."+fn.Name()]
+		} else {
+			recv := sig.Recv().Type()
+			t := recv
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				match = methods[fn.Pkg().Path()+"."+named.Obj().Name()+"."+fn.Name()]
+			}
+			if !match {
+				for _, im := range ifaces {
+					if fn.Name() != im.method {
+						continue
+					}
+					if types.Implements(recv, im.iface) ||
+						types.Implements(types.NewPointer(recv), im.iface) {
+						match = true
+						break
+					}
+				}
+			}
+		}
+		// Fixture convention: DetRoot* functions in detflow testdata
+		// packages are roots, so fixtures need no repo-path config.
+		if !match && strings.Contains(n.Pkg.Path, "testdata/detflow") &&
+			strings.HasPrefix(fn.Name(), "DetRoot") {
+			match = true
+		}
+		if match {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// lookupIfaceMethod resolves "import/path.Iface.Method" to the
+// interface type and method name, or (nil, "") when the program does
+// not contain the package or type.
+func lookupIfaceMethod(prog *Program, spec string) (*types.Interface, string) {
+	i := strings.LastIndex(spec, ".")
+	if i < 0 {
+		return nil, ""
+	}
+	method := spec[i+1:]
+	rest := spec[:i]
+	j := strings.LastIndex(rest, ".")
+	if j < 0 {
+		return nil, ""
+	}
+	pkgPath, typeName := rest[:j], rest[j+1:]
+	for _, pkg := range prog.Pkgs {
+		if pkg.Path != pkgPath {
+			continue
+		}
+		tn, ok := pkg.Types.Scope().Lookup(typeName).(*types.TypeName)
+		if !ok {
+			return nil, ""
+		}
+		iface, ok := tn.Type().Underlying().(*types.Interface)
+		if !ok {
+			return nil, ""
+		}
+		return iface, method
+	}
+	return nil, ""
+}
+
+// volatileRandPkgs are the packages any call into which is a
+// randomness source (same set detrand bans as imports).
+var volatileRandPkgs = map[string]bool{
+	"math/rand": true, "math/rand/v2": true, "crypto/rand": true,
+}
+
+// volSite is one volatile source inside a function body.
+type volSite struct {
+	pos  token.Pos
+	what string
+}
+
+// volatileSites scans one call-graph node's body (function literals
+// included — they execute with the node's reachability) for volatile
+// sources, in position order.
+func volatileSites(n *Node) []volSite {
+	info := n.Pkg.Info
+	var out []volSite
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		switch s := nd.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, s)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case pkgFuncIn(fn, "time", "Now", "Since", "Until"):
+				out = append(out, volSite{s.Pos(), "wall-clock time." + fn.Name()})
+			case volatileRandPkgs[fn.Pkg().Path()]:
+				out = append(out, volSite{s.Pos(), "randomness " + fn.Pkg().Name() + "." + fn.Name()})
+			case hostEnvReads[fn.Pkg().Path()] != nil && hostEnvReads[fn.Pkg().Path()][fn.Name()]:
+				out = append(out, volSite{s.Pos(), "host-dependent " + fn.Pkg().Name() + "." + fn.Name()})
+			}
+		case *ast.RangeStmt:
+			t := info.TypeOf(s.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			appends, fieldAppend, sink := mapRangeEffects(info, s.Body)
+			if sink != "" || fieldAppend ||
+				(len(appends) > 0 && !sortedAfter(info, n.Decl.Body, appends)) {
+				out = append(out, volSite{s.Pos(), "map iteration with order-dependent effects"})
+			}
+		case *ast.GoStmt:
+			lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit)
+			if !ok || litLocks(lit) {
+				return true
+			}
+			for _, w := range capturedWrites(info, lit) {
+				out = append(out, volSite{w.pos, "goroutine-captured write to " + w.name})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// litLocks reports whether a function literal's body takes any mutex
+// (a call of a method named Lock): its captured writes are then treated
+// as synchronized and left to lockheld/lockorder rather than flagged as
+// racy ordering.
+func litLocks(lit *ast.FuncLit) bool {
+	locked := false
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		if call, ok := nd.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Lock" {
+				locked = true
+			}
+		}
+		return !locked
+	})
+	return locked
+}
+
+// capturedWrite is one unsynchronized write inside a go-statement
+// literal to state declared outside it.
+type capturedWrite struct {
+	pos  token.Pos
+	name string
+}
+
+// capturedWrites finds plain (non-element) stores and compound updates
+// inside lit whose target variable is declared outside the literal.
+// Element stores (an index expression on the path) are the shard-slot
+// pattern and are shardpure's concern, not an ordering hazard per se.
+func capturedWrites(info *types.Info, lit *ast.FuncLit) []capturedWrite {
+	var out []capturedWrite
+	captured := func(e ast.Expr) (string, bool) {
+		if hasIndexOnPath(e) {
+			return "", false
+		}
+		id := rootIdent(e)
+		if id == nil || id.Name == "_" {
+			return "", false
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return "", false
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return "", false
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return "", false // declared inside the literal
+		}
+		return id.Name, true
+	}
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		switch s := nd.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				if name, ok := captured(lhs); ok {
+					out = append(out, capturedWrite{lhs.Pos(), name})
+				}
+			}
+		case *ast.IncDecStmt:
+			if name, ok := captured(s.X); ok {
+				out = append(out, capturedWrite{s.X.Pos(), name})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hasIndexOnPath reports whether an lvalue path contains an index
+// expression (a[i], a[i].f, ...), i.e. the store targets an element
+// slot rather than a whole variable or field.
+func hasIndexOnPath(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			return true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}

@@ -68,7 +68,7 @@ func checkMapRanges(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
 			pass.Reportf(rng.Pos(),
 				"map iteration over %s appends to a struct field in randomized order; collect the keys, sort them, and range over the slice",
 				types.ExprString(rng.X))
-		case len(appends) > 0 && !sortedAfter(info, fd, appends):
+		case len(appends) > 0 && !sortedAfter(info, fd.Body, appends):
 			pass.Reportf(rng.Pos(),
 				"map iteration over %s appends to a slice in randomized order and the slice is never sorted; sort the keys first (or sort the result)",
 				types.ExprString(rng.X))
@@ -135,14 +135,14 @@ func sinkCallName(info *types.Info, call *ast.CallExpr) string {
 	return ""
 }
 
-// sortedAfter reports whether the enclosing function passes any of the
+// sortedAfter reports whether the enclosing body passes any of the
 // appended slices to a sort.* or slices.Sort* call, which restores a
 // canonical order. The check is flow-insensitive on purpose: a sort
-// anywhere in the function is accepted, and vclint's fixture suite pins
+// anywhere in the body is accepted, and vclint's fixture suite pins
 // the accepted shapes.
-func sortedAfter(info *types.Info, fd *ast.FuncDecl, targets map[types.Object]bool) bool {
+func sortedAfter(info *types.Info, body *ast.BlockStmt, targets map[types.Object]bool) bool {
 	found := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok || found {
 			return !found

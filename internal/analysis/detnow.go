@@ -2,7 +2,7 @@ package analysis
 
 import (
 	"go/ast"
-	"path/filepath"
+	"go/types"
 )
 
 // NewDetNow builds the detnow analyzer: no wall-clock reads (time.Now,
@@ -13,16 +13,13 @@ import (
 // worker-count equivalence guarantee. Time that must appear in a table
 // is modeled (harness.cycleMS over simulated cycles) instead.
 //
-// allowFiles lists base file names (e.g. "engine.go") that form the
-// engine's progress/timing layer, where wall-clock accounting is the
-// point and the values never feed table cells. Individual sites outside
-// the allowlist are suppressed with //lint:ignore detnow <reason>.
-func NewDetNow(paths, allowFiles []string) *Analyzer {
+// Every finding carries its enclosing function as a one-hop chain, so
+// a progress/timing function that legitimately owns wall-clock is
+// exempted with //lint:ignore detnow <reason> on its declaration line —
+// function-grained and review-visible, unlike the base-filename
+// allowlist this replaces (which silenced any same-named file anywhere).
+func NewDetNow(paths []string) *Analyzer {
 	scope := pathScope{name: "detnow", paths: paths}
-	allowed := make(map[string]bool, len(allowFiles))
-	for _, f := range allowFiles {
-		allowed[f] = true
-	}
 	az := &Analyzer{
 		Name: "detnow",
 		Doc:  "forbid wall-clock reads in cell-assembly and table-rendering paths",
@@ -33,22 +30,27 @@ func NewDetNow(paths, allowFiles []string) *Analyzer {
 		}
 		info := pass.TypesInfo()
 		for _, f := range pass.Files() {
-			if allowed[filepath.Base(pass.Fset.Position(f.Pos()).Filename)] {
-				continue
-			}
-			ast.Inspect(f, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
+			for _, fd := range funcDecls(f) {
+				pos := pass.Fset.Position(fd.Pos())
+				name := fd.Name.Name
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					name = funcDisplayName(fn)
+				}
+				hop := []ChainHop{{Func: name, File: pos.Filename, Line: pos.Line, Col: pos.Column}}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeFunc(info, call)
+					if pkgFuncIn(fn, "time", "Now", "Since", "Until") {
+						pass.ReportfChain(call.Pos(), hop,
+							"wall-clock time.%s in deterministic path; report modeled cycles (harness.cycleMS) or justify with //lint:ignore detnow on the enclosing function",
+							fn.Name())
+					}
 					return true
-				}
-				fn := calleeFunc(info, call)
-				if pkgFuncIn(fn, "time", "Now", "Since", "Until") {
-					pass.Reportf(call.Pos(),
-						"wall-clock time.%s in deterministic path; report modeled cycles (harness.cycleMS) or move the timing into the engine's allowlisted progress layer",
-						fn.Name())
-				}
-				return true
-			})
+				})
+			}
 		}
 	}
 	return az

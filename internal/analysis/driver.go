@@ -13,20 +13,58 @@ import (
 // deterministic order (file, line, col, analyzer, message). Malformed
 // ignore directives are reported as findings of the pseudo-analyzer
 // "vclint".
+//
+// Per-package analyzers (Run) see one package at a time; whole-program
+// analyzers (RunProgram) execute once afterwards over the packages plus
+// their module import closure. Suppression directives are honored
+// program-wide: a chain-carrying finding may be silenced at the
+// declaration of the sink's enclosing function even when that function
+// lives in a package reached only through an import edge.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
+	var diags []Diagnostic
+	ignores := make(ignoreSet)
 	for _, pkg := range pkgs {
-		ignores, bad := parseIgnores(fsetOf(pkg), pkg.Files)
+		pkgIgnores, bad := parseIgnores(fsetOf(pkg), pkg.Files)
 		out = append(out, bad...)
-		var diags []Diagnostic
+		ignores.union(pkgIgnores)
 		for _, az := range analyzers {
+			if az.Run == nil {
+				continue
+			}
 			pass := &Pass{Analyzer: az, Fset: fsetOf(pkg), Pkg: pkg, diags: &diags}
 			az.Run(pass)
 		}
-		for _, d := range diags {
-			if !ignores.suppressed(d) {
-				out = append(out, d)
+	}
+	var progAz []*Analyzer
+	for _, az := range analyzers {
+		if az.RunProgram != nil {
+			progAz = append(progAz, az)
+		}
+	}
+	if len(progAz) > 0 && len(pkgs) > 0 {
+		prog := NewProgram(pkgs)
+		selected := make(map[string]bool, len(pkgs))
+		for _, pkg := range pkgs {
+			selected[pkg.Path] = true
+		}
+		// Closure-only packages contribute directives (their functions
+		// can carry chain hops) but not malformed-directive findings:
+		// they were not asked for.
+		for _, pkg := range prog.Pkgs {
+			if !selected[pkg.Path] {
+				pkgIgnores, _ := parseIgnores(fsetOf(pkg), pkg.Files)
+				ignores.union(pkgIgnores)
 			}
+		}
+		for _, az := range progAz {
+			pp := &ProgramPass{Analyzer: az, Prog: prog, diags: &diags}
+			az.RunProgram(pp)
+		}
+	}
+	for _, d := range diags {
+		if !ignores.suppressed(d) {
+			out = append(out, d)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -53,10 +91,21 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // positions rather than stored globally.
 func fsetOf(pkg *Package) *token.FileSet { return pkg.fset }
 
-// WriteText renders findings one per line in compiler style.
-func WriteText(w io.Writer, diags []Diagnostic) {
+// WriteText renders findings one per line in compiler style. With why
+// set, each chain-carrying finding is followed by its root→sink call
+// chain, one indented hop per line.
+func WriteText(w io.Writer, diags []Diagnostic, why bool) {
 	for _, d := range diags {
 		fmt.Fprintln(w, d.String())
+		if why && len(d.Chain) > 0 {
+			for i, h := range d.Chain {
+				arrow := "   "
+				if i > 0 {
+					arrow = " → "
+				}
+				fmt.Fprintf(w, "\t%s%s (%s:%d)\n", arrow, h.Func, h.File, h.Line)
+			}
+		}
 	}
 }
 

@@ -105,6 +105,9 @@ func TestFixtures(t *testing.T) {
 	for _, dir := range []string{
 		"detnow", "detmaprange", "detrand", "lockheld", "hotalloc", "detenv",
 		"httpctx", "histbuckets",
+		// Whole-program fixtures; detflow loads its inner subpackage
+		// too, pinning a cross-package call chain.
+		"detflow/...", "lockorder", "shardpure",
 	} {
 		t.Run(dir, func(t *testing.T) { runFixture(t, dir) })
 	}
@@ -116,6 +119,7 @@ func TestFixturesFindSomething(t *testing.T) {
 	for _, dir := range []string{
 		"detnow", "detmaprange", "detrand", "lockheld", "hotalloc", "detenv",
 		"httpctx", "histbuckets",
+		"detflow/...", "lockorder", "shardpure",
 	} {
 		t.Run(dir, func(t *testing.T) {
 			diags := Run(loadFixture(t, dir), VCProfAnalyzers())

@@ -29,10 +29,31 @@ type ignoreKey struct {
 type ignoreSet map[ignoreKey]bool
 
 // suppressed reports whether a diagnostic is covered by a directive on
-// its own line or the line above.
+// its own line or the line above. A chain-carrying diagnostic may also
+// be suppressed at its LAST chain hop — the declaration of the function
+// containing the sink — so one function-level directive covers every
+// volatile site inside that function without being as broad as a
+// file allowlist. Directives on intermediate or root hops deliberately
+// never suppress: an ignore on harness.RunAll must not hide a leak
+// introduced three calls below it.
 func (s ignoreSet) suppressed(d Diagnostic) bool {
-	return s[ignoreKey{d.File, d.Line, d.Analyzer}] ||
-		s[ignoreKey{d.File, d.Line - 1, d.Analyzer}]
+	if s[ignoreKey{d.File, d.Line, d.Analyzer}] ||
+		s[ignoreKey{d.File, d.Line - 1, d.Analyzer}] {
+		return true
+	}
+	if n := len(d.Chain); n > 0 {
+		h := d.Chain[n-1]
+		return s[ignoreKey{h.File, h.Line, d.Analyzer}] ||
+			s[ignoreKey{h.File, h.Line - 1, d.Analyzer}]
+	}
+	return false
+}
+
+// union merges another ignore set into s.
+func (s ignoreSet) union(other ignoreSet) {
+	for k := range other {
+		s[k] = true
+	}
 }
 
 // parseIgnores scans a package's comments for directives. Malformed

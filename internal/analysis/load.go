@@ -27,7 +27,8 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
-	fset *token.FileSet // the loader's FileSet, for position lookup
+	fset   *token.FileSet // the loader's FileSet, for position lookup
+	loader *Loader        // the loader that produced the package, for closure walks
 }
 
 // Loader loads module packages from source and type-checks them with
@@ -306,7 +307,7 @@ func (l *Loader) loadPath(path, dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
-	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info, fset: l.Fset}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info, fset: l.Fset, loader: l}
 	l.pkgs[path] = pkg
 	return pkg, nil
 }

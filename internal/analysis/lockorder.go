@@ -1,0 +1,409 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewLockOrder builds the lockorder analyzer: a whole-program
+// lock-acquisition graph whose cycles are potential deadlocks. Locks
+// are tracked as *classes*, instance-insensitively — "sched.Pool.mu"
+// means the mu field of any Pool, "obs.registry" the package-level
+// registry var — because two goroutines deadlock by taking two classes
+// in opposite orders regardless of which instances they hold.
+//
+// Edge extraction is a source-order walk of every function body: a
+// sync Lock/RLock call adds an edge from every class currently held to
+// the class being taken; Unlock/RUnlock releases; a deferred unlock
+// keeps the class held to the end of the function (that is its point).
+// Function literals and go statements are walked with an empty held
+// set — a goroutine starts holding nothing. Calls made while holding a
+// lock add edges to every class the callee can transitively acquire
+// (a fixpoint over the call graph), which is what catches the classic
+// shape: A.Lock → helper() → B.Lock in one package, B.Lock → A.Lock in
+// another.
+//
+// Cycles are reported once per strongly connected component, at the
+// first in-scope acquisition edge, with the enclosing function as the
+// suppression hop.
+func NewLockOrder(paths []string) *Analyzer {
+	scope := pathScope{name: "lockorder", paths: paths}
+	az := &Analyzer{
+		Name: "lockorder",
+		Doc:  "report cycles in the whole-program lock-acquisition order (potential deadlocks)",
+	}
+	az.RunProgram = func(pp *ProgramPass) {
+		g := pp.Prog.CallGraph()
+		ext := &lockExtractor{g: g}
+		for _, n := range g.Nodes {
+			ext.walkNode(n)
+		}
+		ext.addCallEdges()
+		reportLockCycles(pp, scope, ext.edges)
+	}
+	return az
+}
+
+// lockEdge is one observed ordering: `to` was acquired while `from`
+// was held, at site inside node.
+type lockEdge struct {
+	from, to string
+	site     token.Pos
+	node     *Node
+}
+
+// lockCall is a call made while holding locks, pending expansion
+// against the callee's transitive acquisition set.
+type lockCall struct {
+	callees []*Node
+	held    []string
+	site    token.Pos
+	node    *Node
+}
+
+type lockExtractor struct {
+	g        *CallGraph
+	edges    []lockEdge
+	calls    []lockCall
+	localAcq map[*Node]map[string]bool
+}
+
+// walkNode extracts one function's acquisition edges, local acquires,
+// and held-calls.
+func (x *lockExtractor) walkNode(n *Node) {
+	if x.localAcq == nil {
+		x.localAcq = make(map[*Node]map[string]bool)
+	}
+	x.localAcq[n] = make(map[string]bool)
+	siteCallees := make(map[token.Pos][]*Node)
+	for _, e := range n.Out {
+		siteCallees[e.Site] = append(siteCallees[e.Site], e.Callee)
+	}
+	x.walkBody(n, n.Decl.Body, siteCallees, map[string]bool{}, nil)
+}
+
+// walkBody walks stmts in source order with a mutable held set. order
+// tracks acquisition order for deterministic held snapshots.
+func (x *lockExtractor) walkBody(n *Node, body ast.Node, siteCallees map[token.Pos][]*Node, held map[string]bool, order []string) {
+	info := n.Pkg.Info
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch s := nd.(type) {
+		case *ast.FuncLit:
+			// A literal may run later, on another goroutine, or under
+			// different locks; start it from an empty held set.
+			x.walkBody(n, s.Body, siteCallees, map[string]bool{}, nil)
+			return false
+		case *ast.DeferStmt:
+			if _, op, ok := syncLockOp(info, s.Call); ok && strings.HasSuffix(op, "Unlock") {
+				return false // deferred unlock: class stays held to return
+			}
+			return true
+		case *ast.CallExpr:
+			class, op, ok := syncLockOp(info, s)
+			if ok {
+				switch op {
+				case "Lock", "RLock":
+					for _, h := range order {
+						if held[h] && h != class {
+							x.edges = append(x.edges, lockEdge{from: h, to: class, site: s.Pos(), node: n})
+						}
+					}
+					if held[class] {
+						// Re-acquiring a held class is a self-edge
+						// (guaranteed self-deadlock for a plain Mutex).
+						x.edges = append(x.edges, lockEdge{from: class, to: class, site: s.Pos(), node: n})
+					} else {
+						held[class] = true
+						order = append(order, class)
+					}
+					x.localAcq[n][class] = true
+				case "Unlock", "RUnlock":
+					delete(held, class)
+				}
+				return false
+			}
+			if callees := siteCallees[s.Lparen]; len(callees) > 0 && len(held) > 0 {
+				var snap []string
+				for _, h := range order {
+					if held[h] {
+						snap = append(snap, h)
+					}
+				}
+				x.calls = append(x.calls, lockCall{callees: callees, held: snap, site: s.Pos(), node: n})
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// addCallEdges computes each node's transitive acquisition set (a
+// fixpoint over the call graph) and expands every held-call into
+// held→acquirable edges.
+func (x *lockExtractor) addCallEdges() {
+	acq := make(map[*Node]map[string]bool, len(x.localAcq))
+	for n, local := range x.localAcq {
+		s := make(map[string]bool, len(local))
+		for c := range local {
+			s[c] = true
+		}
+		acq[n] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range x.g.Nodes {
+			mine := acq[n]
+			for _, e := range n.Out {
+				for c := range acq[e.Callee] {
+					if !mine[c] {
+						mine[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, call := range x.calls {
+		targets := make(map[string]bool)
+		for _, callee := range call.callees {
+			for c := range acq[callee] {
+				targets[c] = true
+			}
+		}
+		var sorted []string
+		for c := range targets {
+			sorted = append(sorted, c)
+		}
+		sort.Strings(sorted)
+		for _, h := range call.held {
+			for _, c := range sorted {
+				if h != c {
+					x.edges = append(x.edges, lockEdge{from: h, to: c, site: call.site, node: call.node})
+				} else {
+					x.edges = append(x.edges, lockEdge{from: h, to: h, site: call.site, node: call.node})
+				}
+			}
+		}
+	}
+}
+
+// syncLockOp recognizes a call of a sync.Mutex/RWMutex (R)Lock or
+// (R)Unlock — directly or through embedding — and returns the lock
+// class of the receiver expression.
+func syncLockOp(info *types.Info, call *ast.CallExpr) (class, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	class, classOK := lockClassOf(info, sel.X)
+	if !classOK {
+		return "", "", false
+	}
+	return class, sel.Sel.Name, true
+}
+
+// lockClassOf renders a lock receiver expression as an
+// instance-insensitive class name: package-level vars keep their name
+// ("obs.registry"), locals and parameters are represented by their
+// named type ("sched.Pool"), field selections append the field name,
+// and index expressions collapse to "[]" (any element of a container
+// is one class).
+func lockClassOf(info *types.Info, e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(x)
+		v, isVar := obj.(*types.Var)
+		if !isVar {
+			return "", false
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + x.Name, true
+		}
+		t := v.Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			pkg := "_"
+			if named.Obj().Pkg() != nil {
+				pkg = named.Obj().Pkg().Name()
+			}
+			return pkg + "." + named.Obj().Name(), true
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		base, baseOK := lockClassOf(info, x.X)
+		if !baseOK {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.IndexExpr:
+		base, baseOK := lockClassOf(info, x.X)
+		if !baseOK {
+			return "", false
+		}
+		return base + "[]", true
+	case *ast.StarExpr:
+		return lockClassOf(info, x.X)
+	}
+	return "", false
+}
+
+// reportLockCycles finds strongly connected components of the class
+// graph and reports each cycle (SCC of size ≥ 2, or a self-edge) once,
+// at its first in-scope edge.
+func reportLockCycles(pp *ProgramPass, scope pathScope, edges []lockEdge) {
+	adj := make(map[string]map[string]bool)
+	var classes []string
+	seen := make(map[string]bool)
+	note := func(c string) {
+		if !seen[c] {
+			seen[c] = true
+			classes = append(classes, c)
+		}
+	}
+	for _, e := range edges {
+		note(e.from)
+		note(e.to)
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	sort.Strings(classes)
+	comp := sccs(classes, adj)
+	for _, scc := range comp {
+		inSCC := make(map[string]bool, len(scc))
+		for _, c := range scc {
+			inSCC[c] = true
+		}
+		cyclic := len(scc) >= 2
+		if !cyclic {
+			cyclic = adj[scc[0]][scc[0]] // self-edge
+		}
+		if !cyclic {
+			continue
+		}
+		// First in-scope edge inside the component, by position.
+		var best *lockEdge
+		for i := range edges {
+			e := &edges[i]
+			if !inSCC[e.from] || !inSCC[e.to] {
+				continue
+			}
+			if !scope.in(e.node.Pkg.Path) {
+				continue
+			}
+			if best == nil || e.site < best.site {
+				best = e
+			}
+		}
+		if best == nil {
+			continue // cycle entirely outside the configured scope
+		}
+		pos := pp.Prog.Fset.Position(best.node.Decl.Pos())
+		hop := ChainHop{Func: best.node.Name(), File: pos.Filename, Line: pos.Line, Col: pos.Column}
+		if len(scc) == 1 {
+			pp.ReportfChain(best.site, []ChainHop{hop},
+				"lock class %s can be re-acquired while already held (self-deadlock for a plain Mutex)",
+				scc[0])
+			continue
+		}
+		pp.ReportfChain(best.site, []ChainHop{hop},
+			"potential deadlock: lock classes %s are acquired in conflicting orders (cycle %s)",
+			strings.Join(scc, ", "), strings.Join(append(append([]string{}, scc...), scc[0]), " → "))
+	}
+}
+
+// sccs computes strongly connected components (iterative Tarjan) over
+// the class graph; both the components and their members come back in
+// deterministic order.
+func sccs(classes []string, adj map[string]map[string]bool) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var out [][]string
+	next := 0
+
+	sortedAdj := func(c string) []string {
+		var ns []string
+		for n := range adj[c] {
+			ns = append(ns, n)
+		}
+		sort.Strings(ns)
+		return ns
+	}
+
+	type frame struct {
+		node  string
+		succs []string
+		i     int
+	}
+	for _, start := range classes {
+		if _, visited := index[start]; visited {
+			continue
+		}
+		var work []frame
+		push := func(c string) {
+			index[c] = next
+			low[c] = next
+			next++
+			stack = append(stack, c)
+			onStack[c] = true
+			work = append(work, frame{node: c, succs: sortedAdj(c)})
+		}
+		push(start)
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.i < len(f.succs) {
+				succ := f.succs[f.i]
+				f.i++
+				if _, visited := index[succ]; !visited {
+					push(succ)
+				} else if onStack[succ] {
+					if index[succ] < low[f.node] {
+						low[f.node] = index[succ]
+					}
+				}
+				continue
+			}
+			if low[f.node] == index[f.node] {
+				var comp []string
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp = append(comp, top)
+					if top == f.node {
+						break
+					}
+				}
+				sort.Strings(comp)
+				out = append(out, comp)
+			}
+			done := *f
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := &work[len(work)-1]
+				if low[done.node] < low[parent.node] {
+					low[parent.node] = low[done.node]
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

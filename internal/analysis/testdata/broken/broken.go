@@ -1,0 +1,8 @@
+// Package broken fails type-checking on purpose (valid syntax, so the
+// repo-wide gofmt gate is unaffected and go tooling skips it as
+// testdata): cmd/vclint must exit 2 — load error — when pointed here,
+// pinning the documented 0/1/2 exit-code contract.
+package broken
+
+// Mismatched carries the seeded type error.
+var Mismatched int = "not an int"

@@ -1,0 +1,18 @@
+// Package inner proves detflow chains cross package boundaries: its
+// leak is only reachable through the root package's DetRootCell, three
+// hops up, and the diagnostic's chain records the full path.
+package inner
+
+import "time"
+
+var epoch = time.Unix(0, 0)
+
+// Frame is called from the detflow fixture root.
+func Frame(n int) float64 {
+	return float64(n) * tick()
+}
+
+// tick leaks wall-clock at the end of a cross-package chain.
+func tick() float64 {
+	return time.Since(epoch).Seconds() // want `detflow: wall-clock time\.Since reachable from deterministic root detflow\.DetRootCell \(3 hops\)`
+}

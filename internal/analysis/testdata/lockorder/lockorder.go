@@ -1,0 +1,108 @@
+// Package lockorder is vclint's fixture for the whole-program
+// lock-order analyzer: a seeded two-class cycle taken directly, a
+// cycle completed through a helper call (the interprocedural edge), a
+// self-deadlock, and consistently ordered counterparts that must stay
+// silent.
+package lockorder
+
+import "sync"
+
+type accountA struct{ mu sync.Mutex }
+type accountB struct{ mu sync.Mutex }
+
+var a accountA
+var b accountB
+
+// Transfer takes a then b; Refund takes b then a — the seeded cycle.
+// The finding lands on the first conflicting acquisition in the file.
+func Transfer() {
+	a.mu.Lock()
+	b.mu.Lock() // want `lockorder: potential deadlock: lock classes lockorder\.a\.mu, lockorder\.b\.mu`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Refund closes the cycle in the opposite order.
+func Refund() {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type cacheC struct{ mu sync.Mutex }
+type cacheD struct{ mu sync.Mutex }
+
+var c cacheC
+var d cacheD
+
+// Ordered and OrderedViaHelper take c before d consistently — the
+// interprocedural edge (c held across the lockD call) agrees with the
+// direct one, so no cycle and no finding.
+func Ordered() {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func OrderedViaHelper() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lockD()
+}
+
+func lockD() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+type tableE struct{ mu sync.Mutex }
+type tableF struct{ mu sync.Mutex }
+
+var e tableE
+var f tableF
+
+// TakeEThenF acquires f only transitively, through lockF, while
+// holding e — the analyzer must see the call-graph edge to pair with
+// TakeFThenE's direct opposite order.
+func TakeEThenF() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lockF() // want `lockorder: potential deadlock: lock classes lockorder\.e\.mu, lockorder\.f\.mu`
+}
+
+func lockF() {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+func TakeFThenE() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// reentrant re-acquires a held class: guaranteed self-deadlock for a
+// plain Mutex, reported as a one-class cycle.
+type reentrant struct{ mu sync.Mutex }
+
+func (r *reentrant) Double() {
+	r.mu.Lock()
+	r.mu.Lock() // want `lockorder: lock class lockorder\.reentrant\.mu can be re-acquired`
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// Parallel goroutines start with an empty held set: the write lock
+// taken inside the literal while the caller holds c is NOT an edge
+// c → d (the goroutine does not inherit the caller's locks).
+func SpawnClean() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		d.mu.Lock()
+		d.mu.Unlock()
+	}()
+}

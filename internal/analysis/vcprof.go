@@ -8,14 +8,27 @@ import "fmt"
 //   - detnow: wall-clock reads are banned in the cell-assembly and
 //     table paths (harness, metrics, perf, encoders) and in the obs
 //     self-observation layer, whose span clock must stay virtual
-//     (DESIGN.md §7). Two files are allowlisted: the engine's
-//     progress/timing layer (harness/engine.go), whose wall-clock
-//     numbers are explicitly reporting and never table cells, and the
-//     obs real-clock adapter (obs/realclock.go), the single sanctioned
-//     bridge to host time for cmd/ progress narration — its readings
-//     may never feed a Trace, a Counter or rendered tables. The one
-//     deliberate read outside the allowlist (encoders.Encode's
-//     Result.Wall) carries a //lint:ignore with its justification.
+//     (DESIGN.md §7). The sanctioned wall-clock holders — the engine's
+//     progress/timing functions in harness/engine.go, the obs
+//     real-clock adapter (obs/realclock.go), and encoders.Encode's
+//     Result.Wall — each carry a //lint:ignore with its justification
+//     on the function or site, which the chain-aware suppression
+//     honors; there is no file-level allowlist.
+//   - detflow (whole-program): the deterministic roots — harness cell
+//     execution (RunAll/RunCell/RunExperiment), the encoder Encode
+//     path, every scheduler task body (implementations of
+//     sched.Graph.Run and encoders.TaskGraph.Run), and the obs
+//     deterministic writers (Trace.Advance/Begin, Span.End,
+//     Counter.Add) — are tainted through the module call graph, and
+//     any reachable volatile source in the deterministic core is
+//     reported with its root→sink chain (vclint -why).
+//   - lockorder (whole-program): the four mutex-bearing layers (sched,
+//     service, harness, obs) plus video's caches must acquire lock
+//     classes in a cycle-free order; cycles are potential deadlocks.
+//   - shardpure (whole-program): scheduler task bodies (the same
+//     Graph/TaskGraph implementations plus run closures handed to the
+//     encode graph builder) may write shared state only through their
+//     own shard-indexed slot.
 //   - detmaprange / detrand: unscoped; randomized map order and
 //     randomness sources are wrong anywhere in a byte-deterministic
 //     measurement stack.
@@ -49,7 +62,56 @@ func VCProfAnalyzers() []*Analyzer {
 			"vcprof/internal/perf",
 			"vcprof/internal/encoders",
 			"vcprof/internal/obs",
-		}, []string{"engine.go", "realclock.go"}),
+		}),
+		NewDetFlow(DetFlowConfig{
+			Funcs: []string{
+				"vcprof/internal/harness.RunAll",
+				"vcprof/internal/harness.RunCell",
+				"vcprof/internal/harness.RunExperiment",
+			},
+			Methods: []string{
+				"vcprof/internal/encoders.model.Encode",
+				"vcprof/internal/obs.Trace.Advance",
+				"vcprof/internal/obs.Trace.Begin",
+				"vcprof/internal/obs.Span.End",
+				"vcprof/internal/obs.Counter.Add",
+			},
+			IfaceImpls: []string{
+				"vcprof/internal/sched.Graph.Run",
+				"vcprof/internal/encoders.TaskGraph.Run",
+			},
+			SinkPaths: []string{
+				"vcprof/internal/harness",
+				"vcprof/internal/metrics",
+				"vcprof/internal/perf",
+				"vcprof/internal/encoders",
+				"vcprof/internal/obs",
+				"vcprof/internal/sched",
+				"vcprof/internal/trace",
+				"vcprof/internal/video",
+				"vcprof/internal/codec",
+				"vcprof/internal/uarch",
+				"vcprof/internal/cbp",
+				"vcprof/internal/core",
+			},
+		}),
+		NewLockOrder([]string{
+			"vcprof/internal/sched",
+			"vcprof/internal/service",
+			"vcprof/internal/harness",
+			"vcprof/internal/obs",
+			"vcprof/internal/video",
+		}),
+		NewShardPure(ShardPureConfig{
+			TaskIfaces: []string{
+				"vcprof/internal/sched.Graph.Run",
+				"vcprof/internal/encoders.TaskGraph.Run",
+			},
+			SubmitFuncs: []string{
+				"vcprof/internal/encoders.graph.add",
+				"vcprof/internal/analysis/testdata/shardpure.graph.add",
+			},
+		}),
 		NewDetMapRange(),
 		NewDetRand(),
 		NewLockHeld([]string{

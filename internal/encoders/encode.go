@@ -37,7 +37,7 @@ func (m *model) Encode(ctx context.Context, clip *video.Clip, opts Options) (*Re
 	if err != nil {
 		return nil, err
 	}
-	//lint:ignore detnow Result.Wall is host wall-clock by contract (live-run reporting); tables use modeled cycles (harness.cycleMS), never this value
+	//lint:ignore detnow,detflow Result.Wall is host wall-clock by contract (live-run reporting); tables use modeled cycles (harness.cycleMS), never this value
 	start := time.Now()
 	if opts.Executor != nil {
 		err = runSharded(ctx, se, g, ws, opts.Executor)
@@ -47,7 +47,7 @@ func (m *model) Encode(ctx context.Context, clip *video.Clip, opts Options) (*Re
 	if err != nil {
 		return nil, err
 	}
-	wall := time.Since(start) //lint:ignore detnow same contract as above: informational Result.Wall only
+	wall := time.Since(start) //lint:ignore detnow,detflow same contract as above: informational Result.Wall only
 
 	return m.assemble(se, ws, clip, wall)
 }

@@ -730,6 +730,7 @@ func (se *streamEncoder) buildFrameParallel(ws *workerSet) *graph {
 				func(w int, tc *trace.Ctx) error {
 					if st.sc == nil {
 						prev, prev2 := se.refsFor(pic)
+						//lint:ignore shardpure row tasks of one frame share st through a dependency chain (row r waits on row r-1), so exactly one task initializes sc — never concurrent
 						st.sc = &segCtx{
 							se: se, pic: pic, prev: prev, prev2: prev2,
 							enc:      entropy.NewEncoder(tc, se.streamVBase(pic, 0, 0)),
