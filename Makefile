@@ -25,9 +25,9 @@ VET_PASSES = -appends -asmdecl -assign -atomic -bools -buildtag \
 	-stringintconv -structtag -testinggoroutine -tests -timeformat \
 	-unmarshal -unreachable -unsafeptr -unusedresult
 
-.PHONY: ci fmt vet build lint lint-fixtures test race golden bench bench-short fuzz-smoke serve-smoke telemetry-smoke sched-smoke
+.PHONY: ci fmt vet build lint lint-fixtures test race golden bench bench-short fuzz-smoke serve-smoke telemetry-smoke sched-smoke cluster-smoke
 
-ci: fmt vet build lint lint-fixtures test fuzz-smoke bench-short serve-smoke telemetry-smoke sched-smoke race
+ci: fmt vet build lint lint-fixtures test fuzz-smoke bench-short serve-smoke telemetry-smoke sched-smoke cluster-smoke race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -67,7 +67,7 @@ test:
 race:
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/harness ./internal/encoders \
 		./internal/service ./internal/sched ./internal/obs ./internal/telemetry \
-		./internal/uarch/topdown
+		./internal/uarch/topdown ./internal/cluster/...
 
 # Regenerate the golden regression tables after an intentional change,
 # then review the diff under internal/harness/testdata/golden/.
@@ -108,6 +108,15 @@ telemetry-smoke:
 # scripts/sched_smoke.sh.
 sched-smoke:
 	BENCH_OUT=BENCH_pr6 GO="$(GO)" sh scripts/sched_smoke.sh
+
+# End-to-end smoke of the shard router: a single-daemon baseline, a
+# chaotic cold pass through vcgate over 3 shards (one SIGKILLed
+# mid-run, replication factor 2), and a warm pass through a fresh gate
+# must all produce identical digests; the warm pass must route >=80%
+# of jobs to a shard already holding the bytes. See
+# scripts/cluster_smoke.sh.
+cluster-smoke:
+	BENCH_OUT=BENCH_pr8 GO="$(GO)" sh scripts/cluster_smoke.sh
 
 # Ten-second smoke of each fuzz target over its committed seed corpus.
 # Finding a crasher here fails CI; reproduce with the file Go writes

@@ -1,0 +1,164 @@
+// Command vcgate is the cluster router daemon: it consistent-hashes
+// content-addressed job ids across N vcprofd shards with replication
+// factor R, routes warm (preferring the shard whose result store
+// already holds the id), hedges slow requests after a quantile-derived
+// delay, and fails over with backoff when a shard dies mid-job. Its
+// HTTP surface is vcprofd's job lifecycle — submit, poll, fetch — so
+// any daemon client (vcload included) points at the gate unchanged,
+// plus /v1/cluster/stats and /v1/cluster/shards for routing
+// introspection.
+//
+// Usage:
+//
+//	vcgate -shards http://127.0.0.1:8791,http://127.0.0.1:8792
+//	vcgate -addr 127.0.0.1:0 -shards s1=http://h1:8791,s2=http://h2:8791 -replicas 2
+//
+// The daemon prints "listening on <host:port>" once the socket is
+// bound (scripts parse this to discover a random port), serves until
+// SIGINT/SIGTERM, then drains in-flight drives under -drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"vcprof/internal/cluster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vcgate:", err)
+		os.Exit(1)
+	}
+}
+
+// parseShards turns "-shards" into the shard set: a comma-separated
+// list of base URLs, each optionally prefixed "name=". Unnamed shards
+// get s0, s1, ... in list order.
+func parseShards(spec string) ([]cluster.Shard, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, errors.New("-shards is required (comma-separated vcprofd base URLs)")
+	}
+	var out []cluster.Shard
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		sh := cluster.Shard{Name: "s" + strconv.Itoa(i)}
+		if eq := strings.Index(part, "="); eq > 0 && !strings.Contains(part[:eq], "/") {
+			sh.Name = part[:eq]
+			part = part[eq+1:]
+		}
+		if !strings.Contains(part, "://") {
+			part = "http://" + part
+		}
+		sh.URL = strings.TrimRight(part, "/")
+		out = append(out, sh)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-shards parsed to an empty set")
+	}
+	return out, nil
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8790", "listen address (host:port; port 0 picks a free one)")
+		shardsSpec = flag.String("shards", "", "vcprofd shards: comma-separated [name=]URL list")
+		replicas   = flag.Int("replicas", 1, "replication factor R: owners per job id")
+		vnodes     = flag.Int("vnodes", 64, "virtual nodes per shard on the hash ring")
+		hedgeQ     = flag.Float64("hedge-quantile", 0.95, "latency quantile that derives the hedge delay")
+		hedgeMin   = flag.Duration("hedge-min", 25*time.Millisecond, "hedge delay floor")
+		hedgeMax   = flag.Duration("hedge-max", 2*time.Second, "hedge delay ceiling (also the cold-shard delay)")
+		attempts   = flag.Int("attempts", 0, "failover attempts per job (0 = one per shard)")
+		backoff    = flag.Duration("backoff", 10*time.Millisecond, "base failover backoff (doubles per attempt)")
+		probe      = flag.Duration("probe", 250*time.Millisecond, "shard health-probe interval (0 disables probing)")
+		probeFails = flag.Int("probe-fails", 2, "consecutive failures before a shard is marked down")
+		inflight   = flag.Int("inflight", 64, "concurrently driven jobs before submissions get 429")
+		cacheN     = flag.Int("cache", 512, "completed results kept in gate memory")
+		driveTO    = flag.Duration("timeout", 5*time.Minute, "per-job routed lifecycle budget across all attempts")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	shards, err := parseShards(*shardsSpec)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The router's base context is NOT the signal context: drives must
+	// survive the start of a drain and only die when the drain budget
+	// runs out (Shutdown cancels the base context itself).
+	rt, err := cluster.NewRouter(context.Background(), cluster.Config{
+		Shards:        shards,
+		Replicas:      *replicas,
+		VNodes:        *vnodes,
+		HedgeQuantile: *hedgeQ,
+		HedgeMin:      *hedgeMin,
+		HedgeMax:      *hedgeMax,
+		MaxAttempts:   *attempts,
+		RetryBackoff:  *backoff,
+		ProbeInterval: *probe,
+		ProbeFails:    *probeFails,
+		MaxInflight:   *inflight,
+		ResultCacheEntries: func() int {
+			if *cacheN < 1 {
+				return 1
+			}
+			return *cacheN
+		}(),
+		DriveTimeout: *driveTO,
+	})
+	if err != nil {
+		return err
+	}
+	rt.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening on %s\n", ln.Addr())
+	for _, sh := range shards {
+		fmt.Fprintf(os.Stderr, "shard %s: %s\n", sh.Name, sh.URL)
+	}
+
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills hard
+
+	fmt.Fprintln(os.Stderr, "draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := rt.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "vcgate: drain:", err)
+	}
+	httpCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(httpCtx); err != nil {
+		httpSrv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "bye")
+	return nil
+}

@@ -17,7 +17,6 @@ package main
 import (
 	"bytes"
 	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vcprof/internal/cluster"
 	"vcprof/internal/encoders"
 	"vcprof/internal/obs"
 	"vcprof/internal/service"
@@ -63,6 +63,7 @@ func run() error {
 		heavy   = flag.Int("heavy-every", 0, "make every k-th encode heavy (4× frames, 4× resolution, slowest preset) — the bimodal mix the tail-latency study uses (0 = off)")
 		flat    = flag.Bool("flat-prio", false, "serve everything at one priority class (the tail-latency study isolates cost-aware ordering from priority tiers)")
 		bench   = flag.Bool("bench", false, "print benchjson-compatible Benchmark lines")
+		gate    = flag.Bool("gate", false, "the target is a vcgate router: fetch /v1/cluster/stats after the run and print per-route stats (warm-rate, hedges, failovers, per-shard rows)")
 	)
 	flag.Parse()
 	if *n < 1 || *conc < 1 {
@@ -77,14 +78,15 @@ func run() error {
 
 	client := &http.Client{Timeout: 5 * time.Minute}
 	var (
-		next      atomic.Int64
-		failures  atomic.Int64
-		cached    atomic.Int64
-		retried   atomic.Int64
-		mu        sync.Mutex
-		latencies = make([]time.Duration, *n)
-		digests   = make([][32]byte, *n)
-		firstErr  error
+		next       atomic.Int64
+		failures   atomic.Int64
+		cached     atomic.Int64
+		retried    atomic.Int64
+		reconnects atomic.Int64
+		mu         sync.Mutex
+		latencies  = make([]time.Duration, *n)
+		digests    = make([][32]byte, *n)
+		firstErr   error
 	)
 	fail := func(err error) {
 		failures.Add(1)
@@ -106,19 +108,23 @@ func run() error {
 				if i >= *n {
 					return
 				}
-				t0 := time.Now()
-				body, wasCached, retries, err := driveJob(client, base, &specs[i])
+				body, wasCached, ds, err := driveJob(client, base, &specs[i])
 				if err != nil {
 					fail(fmt.Errorf("job %d: %w", i, err))
 					continue
 				}
-				latencies[i] = time.Since(t0)
-				latHist.Observe(uint64(latencies[i].Milliseconds()))
+				// Only the served latency reaches the distribution:
+				// admission retries are accounted separately, so a
+				// saturated server shows up as retries, not as a fake
+				// latency tail.
+				latencies[i] = ds.Served
+				latHist.Observe(uint64(ds.Served.Milliseconds()))
 				digests[i] = sha256.Sum256(body)
 				if wasCached {
 					cached.Add(1)
 				}
-				retried.Add(int64(retries))
+				retried.Add(int64(ds.Retries429))
+				reconnects.Add(int64(ds.Reconnects))
 			}
 		}()
 	}
@@ -129,20 +135,25 @@ func run() error {
 		return fmt.Errorf("%d/%d jobs failed; first: %w", f, *n, firstErr)
 	}
 
-	// The digest folds per-job result digests in job-index order — a
-	// pure function of (seed, n, frames, div) and the service's result
-	// bytes, independent of worker interleaving.
-	h := sha256.New()
-	for i := range digests {
-		h.Write(digests[i][:])
-	}
 	done := *n
+	attempts := int64(done) + retried.Load() + reconnects.Load()
 	fmt.Printf("vcload: %d jobs ok in %.2fs (%.1f jobs/s, c=%d)\n",
 		done, wall.Seconds(), float64(done)/wall.Seconds(), *conc)
 	fmt.Printf("cached-at-submit %d/%d (%.1f%%), %d retries after 429\n",
 		cached.Load(), done, 100*float64(cached.Load())/float64(done), retried.Load())
+	fmt.Printf("attempts %d (%d served + %d retries_429 + %d reconnects); latency counts served time only\n",
+		attempts, done, retried.Load(), reconnects.Load())
 	fmt.Print(telemetry.RenderHistogram(latHist.Snapshot(), "ms"))
-	fmt.Printf("digest %s\n", hex.EncodeToString(h.Sum(nil)))
+	// The digest folds per-job result digests in job-index order — a
+	// pure function of (seed, n, frames, div) and the service's result
+	// bytes, independent of worker interleaving, topology and routing.
+	fmt.Printf("digest %s\n", cluster.FoldDigest(digests))
+
+	if *gate {
+		if err := printGateStats(client, base); err != nil {
+			fmt.Fprintf(os.Stderr, "vcload: gate stats: %v\n", err)
+		}
+	}
 
 	if *bench {
 		perJob := wall.Nanoseconds() / int64(done)
@@ -177,6 +188,40 @@ func run() error {
 			quantiles("Light", light)
 			quantiles("Heavy", heavyLat)
 		}
+	}
+	return nil
+}
+
+// printGateStats renders the per-route report after a -gate run: the
+// router's aggregate counters (the warm-rate line is the one the
+// cluster smoke greps) plus one row per shard.
+func printGateStats(client httpDoer, base string) error {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/cluster/stats", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d (is the target really a vcgate?)", resp.StatusCode)
+	}
+	var s cluster.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return err
+	}
+	fmt.Printf("gate warm-rate %.1f%% (%d/%d warm routes), hedges %d launched %d won, failovers %d, fallbacks %d\n",
+		s.WarmRatePct, s.WarmHits, s.Routes, s.HedgesLaunched, s.HedgesWon, s.Failovers, s.Fallbacks)
+	for _, row := range s.Shards {
+		state := "alive"
+		if !row.Alive {
+			state = "dead"
+		}
+		fmt.Printf("gate shard %s: %s, routes %d, warm %d, failures %d, p50 %dms, p95 %dms (%d obs)\n",
+			row.Name, state, row.Routes, row.WarmHits, row.Failures,
+			row.LatencyP50MS, row.LatencyP95MS, row.LatencyObs)
 	}
 	return nil
 }
@@ -256,46 +301,72 @@ func (s *splitmix) next() uint64 {
 	return z ^ (z >> 31)
 }
 
+// driveStats is one job's attempt accounting. Served measures the
+// serving latency — acceptance (2xx submit) to result fetched — NOT
+// the time spent getting accepted: 429 backoff sleeps and reconnect
+// retries are admission noise, counted in their own fields. Before
+// this split a saturated or flapping server inflated the latency
+// quantiles with retry sleep time, conflating "the server is slow"
+// with "the server asked me to come back later".
+type driveStats struct {
+	Served     time.Duration // accepted submit → result bytes in hand
+	Retries429 int           // submits answered 429 and retried
+	Reconnects int           // submit transport errors retried
+}
+
+// maxReconnects bounds transport-level submit retries: transient
+// connect errors (a gate failing over, a listener mid-restart) are
+// retried with backoff and counted, anything persistent fails the job.
+const maxReconnects = 3
+
 // driveJob pushes one job through submit → poll → fetch and returns the
-// result body.
-func driveJob(client *http.Client, base string, spec *service.JobSpec) (body []byte, cached bool, retries429 int, err error) {
+// result body plus the attempt/served split.
+func driveJob(client httpDoer, base string, spec *service.JobSpec) (body []byte, cached bool, ds driveStats, err error) {
 	payload, err := json.Marshal(spec)
 	if err != nil {
-		return nil, false, 0, err
+		return nil, false, ds, err
 	}
 	id := spec.Key()
 	for {
 		st, code, err := postJob(client, base, payload)
 		if err != nil {
-			return nil, false, retries429, err
+			if ds.Reconnects >= maxReconnects {
+				return nil, false, ds, fmt.Errorf("submit (after %d reconnects): %w", ds.Reconnects, err)
+			}
+			ds.Reconnects++
+			time.Sleep(10 * time.Millisecond)
+			continue
 		}
 		switch code {
 		case http.StatusOK:
 			cached = true
 		case http.StatusAccepted:
 		case http.StatusTooManyRequests:
-			retries429++
+			ds.Retries429++
 			time.Sleep(25 * time.Millisecond)
 			continue
 		default:
-			return nil, false, retries429, fmt.Errorf("submit: HTTP %d: %s", code, st.Error)
+			return nil, false, ds, fmt.Errorf("submit: HTTP %d: %s", code, st.Error)
 		}
 		if st.ID != id {
-			return nil, false, retries429, fmt.Errorf("server key %s != local key %s", st.ID, id)
+			return nil, false, ds, fmt.Errorf("server key %s != local key %s", st.ID, id)
 		}
 		break
 	}
+	// The served clock starts here: the job is accepted (or cached);
+	// everything before this point was admission, not service.
+	accepted := time.Now()
 	delay := 1 * time.Millisecond
 	for {
 		st, code, err := getJSON(client, base+"/v1/jobs/"+id)
 		if err != nil {
-			return nil, false, retries429, err
+			return nil, false, ds, err
 		}
 		if code != http.StatusOK {
-			return nil, false, retries429, fmt.Errorf("status: HTTP %d: %s", code, st.Error)
+			return nil, false, ds, fmt.Errorf("status: HTTP %d: %s", code, st.Error)
 		}
 		if st.Status == "failed" {
-			return nil, false, retries429, fmt.Errorf("job failed: %s", st.Error)
+			return nil, false, ds, fmt.Errorf("job failed: %s", st.Error)
 		}
 		if st.Status == "done" {
 			break
@@ -305,19 +376,32 @@ func driveJob(client *http.Client, base string, spec *service.JobSpec) (body []b
 			delay *= 2
 		}
 	}
-	resp, err := client.Get(base + "/v1/results/" + id)
+	body, err = fetchResult(client, base, id)
 	if err != nil {
-		return nil, false, retries429, err
+		return nil, false, ds, err
+	}
+	ds.Served = time.Since(accepted)
+	return body, cached, ds, nil
+}
+
+func fetchResult(client httpDoer, base, id string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/results/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
 	}
 	defer resp.Body.Close()
-	body, err = io.ReadAll(resp.Body)
+	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, false, retries429, err
+		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, false, retries429, fmt.Errorf("result: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		return nil, fmt.Errorf("result: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 	}
-	return body, cached, retries429, nil
+	return body, nil
 }
 
 // status mirrors the server's jobStatus wire form.
@@ -328,8 +412,19 @@ type status struct {
 	Error  string `json:"error"`
 }
 
-func postJob(client *http.Client, base string, payload []byte) (status, int, error) {
-	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(payload))
+// httpDoer is the transport seam: *http.Client in production, a fake
+// in the attempt/served-split regression tests.
+type httpDoer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+func postJob(client httpDoer, base string, payload []byte) (status, int, error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return status{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
 	if err != nil {
 		return status{}, 0, err
 	}
@@ -341,8 +436,12 @@ func postJob(client *http.Client, base string, payload []byte) (status, int, err
 	return st, resp.StatusCode, nil
 }
 
-func getJSON(client *http.Client, url string) (status, int, error) {
-	resp, err := client.Get(url)
+func getJSON(client httpDoer, url string) (status, int, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return status{}, 0, err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return status{}, 0, err
 	}

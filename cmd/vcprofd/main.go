@@ -54,6 +54,7 @@ func run() error {
 		shardN   = flag.Int("shard-workers", 0, "shard pool size (0 = same as -j)")
 		stealSed = flag.Uint64("steal-seed", 0, "shard-scheduler victim-selection seed (results are identical for any value; 0 = 1)")
 		admit    = flag.String("admission", "sjf", "queue policy: sjf (shortest estimated job first within a priority) or fifo")
+		name     = flag.String("name", "", "shard name echoed by GET /v1/registry (for vcgate clusters; default \"vcprofd\")")
 	)
 	flag.Parse()
 
@@ -80,6 +81,7 @@ func run() error {
 		DisableSharding: !*shard,
 		StealSeed:       *stealSed,
 		Admission:       *admit,
+		ShardName:       *name,
 	})
 	if err != nil {
 		return err

@@ -96,6 +96,18 @@ func (x *lockExtractor) walkBody(n *Node, body ast.Node, siteCallees map[token.P
 			// different locks; start it from an empty held set.
 			x.walkBody(n, s.Body, siteCallees, map[string]bool{}, nil)
 			return false
+		case *ast.GoStmt:
+			// A spawned callee — literal or named — starts on a fresh
+			// goroutine with an empty held set; the caller's locks are
+			// not inherited, so no held→acquirable edge arises. Only
+			// the call's operands evaluate on this goroutine.
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				x.walkBody(n, lit.Body, siteCallees, map[string]bool{}, nil)
+			}
+			for _, arg := range s.Call.Args {
+				x.walkBody(n, arg, siteCallees, held, order)
+			}
+			return false
 		case *ast.DeferStmt:
 			if _, op, ok := syncLockOp(info, s.Call); ok && strings.HasSuffix(op, "Unlock") {
 				return false // deferred unlock: class stays held to return

@@ -1,0 +1,68 @@
+// cluster.go extends the lockorder fixture with the shard-router
+// shapes from internal/cluster: the registry's leaf-lock discipline
+// (snapshot under the lock, observe after release — silent), the same
+// pair nested inconsistently (the cycle the leaf rule exists to
+// prevent), and a drive spawned by `go` on a named function, which
+// starts from an empty held set exactly like a goroutine literal.
+package lockorder
+
+import "sync"
+
+type registryS struct{ mu sync.Mutex }
+type latTable struct{ mu sync.Mutex }
+
+var regS registryS
+var lat latTable
+
+// SnapshotLeaf copies under the registry lock, releases, then reads
+// the latency table: no nesting, no edge, no finding.
+func SnapshotLeaf() {
+	regS.mu.Lock()
+	regS.mu.Unlock()
+	lat.mu.Lock()
+	lat.mu.Unlock()
+}
+
+// SnapshotNested holds the registry lock across the latency read while
+// ObserveNested nests the other way — a potential deadlock.
+func SnapshotNested() {
+	regS.mu.Lock()
+	defer regS.mu.Unlock()
+	readLat() // want `lockorder: potential deadlock: lock classes lockorder\.lat\.mu, lockorder\.regS\.mu`
+}
+
+func readLat() {
+	lat.mu.Lock()
+	lat.mu.Unlock()
+}
+
+func ObserveNested() {
+	lat.mu.Lock()
+	defer lat.mu.Unlock()
+	regS.mu.Lock()
+	regS.mu.Unlock()
+}
+
+type routerR struct{ mu sync.Mutex }
+type histQ struct{ mu sync.Mutex }
+
+var rr routerR
+var q histQ
+
+// SubmitSpawn spawns a named drive while holding the router lock. The
+// callee nests q before rr — a deadlock if the call ran synchronously
+// under the held lock, but the spawned goroutine starts with an empty
+// held set (same rule as a goroutine literal), so no rr → q edge
+// arises and the fixture stays silent.
+func SubmitSpawn() {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	go driveNamed()
+}
+
+func driveNamed() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rr.mu.Lock()
+	rr.mu.Unlock()
+}

@@ -17,14 +17,19 @@ import "fmt"
 //   - detflow (whole-program): the deterministic roots — harness cell
 //     execution (RunAll/RunCell/RunExperiment), the encoder Encode
 //     path, every scheduler task body (implementations of
-//     sched.Graph.Run and encoders.TaskGraph.Run), and the obs
+//     sched.Graph.Run and encoders.TaskGraph.Run), the obs
 //     deterministic writers (Trace.Advance/Begin, Span.End,
-//     Counter.Add) — are tainted through the module call graph, and
+//     Counter.Add), and the cluster fold-digest root
+//     (cluster.FoldDigest, the value every cross-topology equivalence
+//     test compares) — are tainted through the module call graph, and
 //     any reachable volatile source in the deterministic core is
 //     reported with its root→sink chain (vclint -why).
-//   - lockorder (whole-program): the four mutex-bearing layers (sched,
-//     service, harness, obs) plus video's caches must acquire lock
-//     classes in a cycle-free order; cycles are potential deadlocks.
+//   - lockorder (whole-program): the mutex-bearing layers (sched,
+//     service, harness, obs, cluster) plus video's caches must acquire
+//     lock classes in a cycle-free order; cycles are potential
+//     deadlocks. The cluster router's contract — the shard registry's
+//     mutex is a leaf, never held across an HTTP call or a histogram
+//     observation — is exactly the shape this analyzer pins.
 //   - shardpure (whole-program): scheduler task bodies (the same
 //     Graph/TaskGraph implementations plus run closures handed to the
 //     encode graph builder) may write shared state only through their
@@ -35,16 +40,18 @@ import "fmt"
 //   - lockheld: the engine's worker pool hits the cell/clip caches and
 //     the experiment registry concurrently, so their mutex discipline
 //     is checked in harness and video; the service daemon's queue, job
-//     table and result store are in scope for the same reason.
+//     table and result store, and the cluster router's drive/warm/LRU
+//     state are in scope for the same reason.
 //   - hotalloc: the codec kernels and the per-op simulator loops are
 //     the measured hot paths; allocations there distort the counts the
 //     experiments report.
 //   - detenv: nothing under internal/ may read host environment state;
 //     cmd/ front-ends pass such values down as explicit configuration.
-//   - httpctx: the service daemon's HTTP handlers must derive contexts
-//     from r.Context(); a context.Background()/TODO() minted inside a
-//     handler severs client disconnects, per-job deadlines and the
-//     graceful drain from the harness work they should cancel.
+//   - httpctx: the service daemon's and the cluster gate's HTTP
+//     handlers must derive contexts from r.Context(); a
+//     context.Background()/TODO() minted inside a handler severs
+//     client disconnects, per-job deadlines and the graceful drain
+//     from the harness work they should cancel.
 //   - histbuckets: unscoped; histogram bucket layouts passed to
 //     obs.NewHistogram/NewVolatileHistogram (and the shared
 //     *Buckets* layout vars in internal/telemetry) must be strictly
@@ -68,6 +75,7 @@ func VCProfAnalyzers() []*Analyzer {
 				"vcprof/internal/harness.RunAll",
 				"vcprof/internal/harness.RunCell",
 				"vcprof/internal/harness.RunExperiment",
+				"vcprof/internal/cluster.FoldDigest",
 			},
 			Methods: []string{
 				"vcprof/internal/encoders.model.Encode",
@@ -93,6 +101,7 @@ func VCProfAnalyzers() []*Analyzer {
 				"vcprof/internal/uarch",
 				"vcprof/internal/cbp",
 				"vcprof/internal/core",
+				"vcprof/internal/cluster",
 			},
 		}),
 		NewLockOrder([]string{
@@ -101,6 +110,7 @@ func VCProfAnalyzers() []*Analyzer {
 			"vcprof/internal/harness",
 			"vcprof/internal/obs",
 			"vcprof/internal/video",
+			"vcprof/internal/cluster",
 		}),
 		NewShardPure(ShardPureConfig{
 			TaskIfaces: []string{
@@ -118,6 +128,7 @@ func VCProfAnalyzers() []*Analyzer {
 			"vcprof/internal/harness",
 			"vcprof/internal/video",
 			"vcprof/internal/service",
+			"vcprof/internal/cluster",
 		}),
 		NewHotAlloc([]string{
 			"vcprof/internal/codec/transform",
@@ -130,6 +141,7 @@ func VCProfAnalyzers() []*Analyzer {
 		NewDetEnv([]string{"vcprof/internal"}),
 		NewHTTPCtx([]string{
 			"vcprof/internal/service",
+			"vcprof/internal/cluster",
 			"vcprof/cmd",
 		}),
 		NewHistBuckets(),

@@ -1,0 +1,271 @@
+// Package chaos is the in-process fault-injection harness for cluster
+// tests: an HTTP middleware that can kill, stall, or 503 a shard at
+// exact request counts, armed either explicitly or from a seeded
+// deterministic schedule. Request counts — not wall-clock — trigger
+// every fault, so "SIGKILL shard k at job j" is a reproducible unit
+// test rather than a timing-dependent manual check.
+package chaos
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Injector wraps one shard's handler and applies the armed faults.
+// A "killed" shard aborts every connection mid-response (the client
+// sees EOF/ECONNRESET, the same failure shape as a SIGKILLed process
+// behind a dead socket) until Revive.
+type Injector struct {
+	mu      sync.Mutex
+	served  int // requests that entered the wrapped handler
+	dead    bool
+	stalls  int           // requests still to stall
+	stallBy time.Duration // current stall duration
+	fails   int           // requests still to 503
+	arms    []arm         // pending count-triggered faults, sorted by After
+}
+
+type arm struct {
+	After int // trigger once served >= After
+	Ev    Event
+}
+
+// Kind enumerates fault kinds.
+type Kind int
+
+const (
+	KindKill Kind = iota
+	KindRevive
+	KindStall
+	KindBurst503
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindKill:
+		return "kill"
+	case KindRevive:
+		return "revive"
+	case KindStall:
+		return "stall"
+	case KindBurst503:
+		return "503"
+	}
+	return "unknown(" + strconv.Itoa(int(k)) + ")"
+}
+
+// Event is one scheduled fault: shard Shard, armed once that shard has
+// served After requests. N is the burst length (stalled or 503'd
+// requests); Stall the per-request delay for KindStall.
+type Event struct {
+	Shard int
+	After int
+	Kind  Kind
+	N     int
+	Stall time.Duration
+}
+
+// New returns an idle injector (no faults armed).
+func New() *Injector { return &Injector{} }
+
+// Kill makes the shard drop every connection from now on.
+func (in *Injector) Kill() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.dead = true
+}
+
+// Revive brings a killed shard back.
+func (in *Injector) Revive() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.dead = false
+}
+
+// StallNext delays each of the next n requests by d.
+func (in *Injector) StallNext(n int, d time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stalls = n
+	in.stallBy = d
+}
+
+// FailNext answers the next n requests with 503.
+func (in *Injector) FailNext(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.fails = n
+}
+
+// Arm schedules a count-triggered fault: the event fires once the
+// shard has served ev.After requests. Multiple arms coexist; they
+// trigger in After order.
+func (in *Injector) Arm(ev Event) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.arms = append(in.arms, arm{After: ev.After, Ev: ev})
+	sort.SliceStable(in.arms, func(i, j int) bool { return in.arms[i].After < in.arms[j].After })
+}
+
+// Served reports how many requests have entered the wrapped handler.
+func (in *Injector) Served() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.served
+}
+
+// Dead reports whether the shard currently drops connections.
+func (in *Injector) Dead() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dead
+}
+
+// fireDueLocked applies arms whose trigger count has been reached.
+func (in *Injector) fireDueLocked() {
+	for len(in.arms) > 0 && in.served >= in.arms[0].After {
+		ev := in.arms[0].Ev
+		in.arms = in.arms[1:]
+		switch ev.Kind {
+		case KindKill:
+			in.dead = true
+		case KindRevive:
+			in.dead = false
+		case KindStall:
+			in.stalls = ev.N
+			in.stallBy = ev.Stall
+		case KindBurst503:
+			in.fails = ev.N
+		}
+	}
+}
+
+// Wrap applies the injector's current fault state around a handler.
+func (in *Injector) Wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		in.mu.Lock()
+		in.served++
+		in.fireDueLocked()
+		if in.dead {
+			in.mu.Unlock()
+			// Abort the response without a status line: the client sees
+			// the connection die, exactly like a killed process.
+			panic(http.ErrAbortHandler)
+		}
+		if in.fails > 0 {
+			in.fails--
+			in.mu.Unlock()
+			http.Error(w, "chaos: injected 503", http.StatusServiceUnavailable)
+			return
+		}
+		var stall time.Duration
+		if in.stalls > 0 {
+			in.stalls--
+			stall = in.stallBy
+		}
+		in.mu.Unlock()
+		if stall > 0 {
+			t := time.NewTimer(stall)
+			defer t.Stop()
+			select {
+			case <-r.Context().Done():
+				// The stalled request was hedged around and cancelled;
+				// don't hold the goroutine for the full stall.
+				panic(http.ErrAbortHandler)
+			case <-t.C:
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// splitmix is the repo's stable seeded PRNG (splitmix64), so schedules
+// never depend on math/rand's stream or Go release.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// ScheduleConfig bounds a seeded schedule.
+type ScheduleConfig struct {
+	Shards   int           // shard count the events index into
+	Events   int           // events to draw
+	MaxAfter int           // trigger counts drawn from [1, MaxAfter]
+	MaxBurst int           // burst lengths drawn from [1, MaxBurst] (default 4)
+	Stall    time.Duration // stall duration for KindStall events (default 50ms)
+	// Kills limits KindKill events so a schedule can never take the
+	// whole cluster down (default: Shards-1; 0 keeps the default, -1
+	// forbids kills entirely).
+	Kills int
+}
+
+// Schedule draws a deterministic fault schedule from a seed: same
+// seed, same config, same events, every run and every platform. Kill
+// events are capped so at least one shard always survives.
+func Schedule(seed uint64, cfg ScheduleConfig) []Event {
+	if cfg.Shards < 1 || cfg.Events < 1 {
+		return nil
+	}
+	if cfg.MaxAfter < 1 {
+		cfg.MaxAfter = 1
+	}
+	if cfg.MaxBurst < 1 {
+		cfg.MaxBurst = 4
+	}
+	if cfg.Stall <= 0 {
+		cfg.Stall = 50 * time.Millisecond
+	}
+	kills := cfg.Kills
+	if kills == 0 {
+		kills = cfg.Shards - 1
+	}
+	if kills < 0 {
+		kills = 0
+	}
+	rng := splitmix{state: seed}
+	events := make([]Event, 0, cfg.Events)
+	killed := 0
+	for len(events) < cfg.Events {
+		ev := Event{
+			Shard: int(rng.next() % uint64(cfg.Shards)),
+			After: 1 + int(rng.next()%uint64(cfg.MaxAfter)),
+		}
+		switch rng.next() % 3 {
+		case 0:
+			if killed >= kills {
+				// Draw again; the rng stream advances, so the schedule
+				// stays a pure function of (seed, config).
+				continue
+			}
+			killed++
+			ev.Kind = KindKill
+		case 1:
+			ev.Kind = KindStall
+			ev.N = 1 + int(rng.next()%uint64(cfg.MaxBurst))
+			ev.Stall = cfg.Stall
+		default:
+			ev.Kind = KindBurst503
+			ev.N = 1 + int(rng.next()%uint64(cfg.MaxBurst))
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// Apply arms a schedule across a shard's injectors.
+func Apply(events []Event, injs []*Injector) {
+	for _, ev := range events {
+		if ev.Shard < 0 || ev.Shard >= len(injs) {
+			continue
+		}
+		injs[ev.Shard].Arm(ev)
+	}
+}

@@ -1,0 +1,165 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+}
+
+// TestScheduleDeterministic pins the harness's own reproducibility:
+// the same (seed, config) draws the same event list, and different
+// seeds draw different ones.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := ScheduleConfig{Shards: 3, Events: 8, MaxAfter: 50}
+	a := Schedule(42, cfg)
+	b := Schedule(42, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed drew different schedules:\n%+v\n%+v", a, b)
+	}
+	if len(a) != 8 {
+		t.Fatalf("drew %d events, want 8", len(a))
+	}
+	c := Schedule(43, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds drew identical schedules")
+	}
+}
+
+// TestScheduleKillCap checks that a schedule can never take the whole
+// cluster down: kills are capped at Shards-1 by default and can be
+// forbidden outright.
+func TestScheduleKillCap(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		kills := 0
+		for _, ev := range Schedule(seed, ScheduleConfig{Shards: 3, Events: 30, MaxAfter: 10}) {
+			if ev.Kind == KindKill {
+				kills++
+			}
+		}
+		if kills > 2 {
+			t.Fatalf("seed %d: %d kills over 3 shards — whole cluster can die", seed, kills)
+		}
+	}
+	for _, ev := range Schedule(7, ScheduleConfig{Shards: 2, Events: 30, MaxAfter: 10, Kills: -1}) {
+		if ev.Kind == KindKill {
+			t.Fatal("Kills: -1 still drew a kill event")
+		}
+	}
+}
+
+// TestInjectorKillAndRevive checks the kill fault from the client's
+// side: a killed shard aborts the connection (transport error, no
+// status), a revived one serves again.
+func TestInjectorKillAndRevive(t *testing.T) {
+	inj := New()
+	srv := httptest.NewServer(inj.Wrap(okHandler()))
+	defer srv.Close()
+
+	if _, err := http.Get(srv.URL); err != nil {
+		t.Fatalf("healthy shard errored: %v", err)
+	}
+	inj.Kill()
+	if resp, err := http.Get(srv.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("killed shard still answered with a status")
+	}
+	if !inj.Dead() {
+		t.Fatal("Dead() false after Kill")
+	}
+	inj.Revive()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("revived shard errored: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("revived shard: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestInjectorBurst503 checks the 503 burst drains exactly N requests.
+func TestInjectorBurst503(t *testing.T) {
+	inj := New()
+	srv := httptest.NewServer(inj.Wrap(okHandler()))
+	defer srv.Close()
+
+	inj.FailNext(2)
+	codes := make([]int, 0, 3)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	want := []int{503, 503, 200}
+	if !reflect.DeepEqual(codes, want) {
+		t.Fatalf("burst codes %v, want %v", codes, want)
+	}
+}
+
+// TestInjectorCountTriggeredArm checks arms fire at exact request
+// counts — the property that makes "kill shard k at job j" a unit
+// test.
+func TestInjectorCountTriggeredArm(t *testing.T) {
+	inj := New()
+	srv := httptest.NewServer(inj.Wrap(okHandler()))
+	defer srv.Close()
+
+	inj.Arm(Event{After: 3, Kind: KindBurst503, N: 1})
+	codes := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	want := []int{200, 200, 503, 200}
+	if !reflect.DeepEqual(codes, want) {
+		t.Fatalf("armed burst codes %v, want %v", codes, want)
+	}
+	if inj.Served() != 4 {
+		t.Fatalf("served = %d, want 4", inj.Served())
+	}
+}
+
+// TestInjectorStallRespectsCancel checks a stalled request aborts as
+// soon as its client gives up — hedged-around requests must not pin
+// goroutines for the full stall.
+func TestInjectorStallRespectsCancel(t *testing.T) {
+	inj := New()
+	srv := httptest.NewServer(inj.Wrap(okHandler()))
+	defer srv.Close()
+
+	inj.StallNext(1, 30*time.Second)
+	client := &http.Client{Timeout: 50 * time.Millisecond}
+	t0 := time.Now()
+	if resp, err := client.Get(srv.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("stalled request served within the client timeout")
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("cancelled stall held the request %v", d)
+	}
+	// The next, unstalled request serves normally.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-stall request: HTTP %d", resp.StatusCode)
+	}
+}

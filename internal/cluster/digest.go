@@ -1,0 +1,35 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// FoldDigest folds per-job result digests, in job-index order, into
+// one cluster digest: the SHA-256 over the concatenated per-job
+// SHA-256s. Because the fold order is the job index — a property of
+// the seeded mix, not of scheduling — the digest is independent of
+// completion order, worker interleaving, topology, and routing: the
+// same mix served by one daemon, four shards, or a cluster that lost
+// a shard mid-run must fold to the same bytes. vcload prints it after
+// every run and the cross-topology equivalence matrix byte-compares
+// it; this function is a deterministic root under vclint's detflow
+// analyzer, so nothing volatile may ever reach it.
+func FoldDigest(perJob [][32]byte) string {
+	h := sha256.New()
+	for i := range perJob {
+		h.Write(perJob[i][:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// BodyDigests hashes each result body for FoldDigest; the split exists
+// so callers can hash bodies as they arrive (any order, any goroutine)
+// into an index-addressed slice and fold once at the end.
+func BodyDigests(bodies [][]byte) [][32]byte {
+	out := make([][32]byte, len(bodies))
+	for i, b := range bodies {
+		out[i] = sha256.Sum256(b)
+	}
+	return out
+}

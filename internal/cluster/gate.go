@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"vcprof/internal/service"
+	"vcprof/internal/telemetry"
+)
+
+// Stats is the /v1/cluster/stats document: the router's aggregate
+// routing counters plus one row per shard. Everything here is
+// volatile — it follows health, hedging races and wall-clock — and
+// never feeds result bytes.
+type Stats struct {
+	Routes         uint64  `json:"routes"`
+	WarmHits       uint64  `json:"warm_hits"`
+	WarmRatePct    float64 `json:"warm_rate_pct"`
+	Fallbacks      uint64  `json:"fallback_routes"`
+	HedgesLaunched uint64  `json:"hedges_launched"`
+	HedgesWon      uint64  `json:"hedges_won"`
+	Failovers      uint64  `json:"failovers"`
+	Retries429     uint64  `json:"retries_429"`
+	ReplicasPushed uint64  `json:"replicas_pushed"`
+	ReplicasFailed uint64  `json:"replicas_failed"`
+	ProbeDown      uint64  `json:"probe_transitions_down"`
+	ProbeUp        uint64  `json:"probe_transitions_up"`
+	Rejected       uint64  `json:"rejected"`
+	DrivesFailed   uint64  `json:"drives_failed"`
+	Inflight       int     `json:"inflight"`
+
+	Shards []ShardStats `json:"shards"`
+}
+
+// StatsNow snapshots the router's routing statistics.
+func (r *Router) StatsNow() Stats {
+	r.st.mu.Lock()
+	inflight := r.st.inflight
+	r.st.mu.Unlock()
+	s := Stats{
+		Routes:         r.n.routes.Load(),
+		WarmHits:       r.n.warmHits.Load(),
+		Fallbacks:      r.n.fallbacks.Load(),
+		HedgesLaunched: r.n.hedgesLaunched.Load(),
+		HedgesWon:      r.n.hedgesWon.Load(),
+		Failovers:      r.n.failovers.Load(),
+		Retries429:     r.n.retries429.Load(),
+		ReplicasPushed: r.n.replicasPushed.Load(),
+		ReplicasFailed: r.n.replicasFailed.Load(),
+		ProbeDown:      r.n.probeDown.Load(),
+		ProbeUp:        r.n.probeUp.Load(),
+		Rejected:       r.n.rejected.Load(),
+		DrivesFailed:   r.n.drivesFailed.Load(),
+		Inflight:       inflight,
+		Shards:         r.reg.snapshot(shardLatency),
+	}
+	if s.Routes > 0 {
+		s.WarmRatePct = 100 * float64(s.WarmHits) / float64(s.Routes)
+	}
+	return s
+}
+
+// Handler returns the gate's HTTP surface: the vcprofd job lifecycle
+// endpoints (so any daemon client — vcload included — can point at the
+// gate unchanged) plus the cluster introspection endpoints.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", r.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", r.handleStatus)
+	mux.HandleFunc("GET /v1/results/{id}", r.handleResult)
+	mux.HandleFunc("GET /v1/cluster/stats", r.handleStats)
+	mux.HandleFunc("GET /v1/cluster/shards", r.handleShards)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	mux.HandleFunc("GET /healthz", r.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var spec service.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, state, code, err := r.Submit(&spec)
+	if err != nil {
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, code, wireStatus{ID: id, Status: state, Cached: code == http.StatusOK})
+}
+
+func (r *Router) handleStatus(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if state, errMsg, cached, ok := r.Status(id); ok {
+		writeJSON(w, http.StatusOK, wireStatus{ID: id, Status: state, Cached: cached, Error: errMsg})
+		return
+	}
+	// Unknown to this gate (restart, evicted): a cheap owner probe
+	// still answers "done" for anything the shards hold.
+	if r.headThrough(req, id) {
+		writeJSON(w, http.StatusOK, wireStatus{ID: id, Status: service.StateDone, Cached: true})
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown job %q", id)
+}
+
+// headThrough asks the key's candidate shards whether any already owns
+// the result — the ownership-hint probe (HEAD /v1/results/{id}).
+func (r *Router) headThrough(req *http.Request, id string) bool {
+	for _, name := range r.candidateList(id) {
+		sh, alive, ok := r.reg.lookup(name)
+		if !ok || !alive {
+			continue
+		}
+		hreq, err := http.NewRequestWithContext(req.Context(), http.MethodHead, sh.URL+"/v1/results/"+id, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := r.client.Do(hreq)
+		if err != nil {
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Router) handleResult(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if body, ok := r.CachedResult(id); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	if state, errMsg, _, ok := r.Status(id); ok {
+		if state == service.StateFailed {
+			writeJSON(w, http.StatusInternalServerError, wireStatus{ID: id, Status: state, Error: errMsg})
+			return
+		}
+		writeJSON(w, http.StatusConflict, wireStatus{ID: id, Status: state})
+		return
+	}
+	if body, ok := r.FetchThrough(req.Context(), id); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	writeError(w, http.StatusNotFound, "no result for %q", id)
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.StatsNow())
+}
+
+func (r *Router) handleShards(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.reg.snapshot(shardLatency))
+}
+
+// handleMetrics renders the gate process's obs registry plus the
+// router's instantaneous routing gauges in the Prometheus text
+// exposition.
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s := r.StatsNow()
+	opts := telemetry.PromOptions{IncludeVolatile: req.URL.Query().Get("volatile") != "0"}
+	if opts.IncludeVolatile {
+		opts.Gauges = []telemetry.GaugeSample{
+			{Name: "gate.routes.total", Value: float64(s.Routes)},
+			{Name: "gate.routes.warm", Value: float64(s.WarmHits)},
+			{Name: "gate.routes.fallback", Value: float64(s.Fallbacks)},
+			{Name: "gate.hedges.launched", Value: float64(s.HedgesLaunched)},
+			{Name: "gate.hedges.won", Value: float64(s.HedgesWon)},
+			{Name: "gate.failovers", Value: float64(s.Failovers)},
+			{Name: "gate.retries_429", Value: float64(s.Retries429)},
+			{Name: "gate.replicas.pushed", Value: float64(s.ReplicasPushed)},
+			{Name: "gate.replicas.failed", Value: float64(s.ReplicasFailed)},
+			{Name: "gate.inflight", Value: float64(s.Inflight)},
+		}
+	}
+	if err := telemetry.WriteProm(w, opts); err != nil {
+		return
+	}
+}
+
+func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
+	r.st.mu.Lock()
+	draining := r.st.draining
+	r.st.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

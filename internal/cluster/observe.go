@@ -1,0 +1,33 @@
+package cluster
+
+import (
+	"sync"
+
+	"vcprof/internal/obs"
+	"vcprof/internal/telemetry"
+)
+
+// Per-shard served-latency histograms, on the shared latency bucket
+// layout so gate quantiles line up with vcprofd's svc.job.latency_ms
+// and vcload's client-side distribution. Volatile: they measure wall
+// time. Histograms are find-or-created because the obs registry is
+// process-global while tests build many routers over recurring shard
+// names.
+var histMu sync.Mutex
+
+func shardHist(name string) *obs.Histogram {
+	histMu.Lock()
+	defer histMu.Unlock()
+	full := "gate.shard.latency_ms." + name
+	if h := obs.FindHistogram(full); h != nil {
+		return h
+	}
+	return obs.NewVolatileHistogram(full, telemetry.LatencyBucketsMS)
+}
+
+// shardLatency reads a shard's served-latency quantiles for the stats
+// document.
+func shardLatency(name string) (p50, p95, count uint64) {
+	snap := shardHist(name).Snapshot()
+	return snap.Quantile(0.50), snap.Quantile(0.95), snap.Count
+}

@@ -1,0 +1,722 @@
+package cluster
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vcprof/internal/service"
+)
+
+// HTTPClient is the shard-side transport. *http.Client satisfies it;
+// tests inject fault-wrapped transports.
+type HTTPClient interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// Router drives content-addressed jobs across the shard set: one
+// in-flight drive per key (cluster-level singleflight), candidate
+// shards chosen warm-first then by ring ownership, hedged after a
+// quantile-derived delay, failed over with backoff, and — with R>1 —
+// completed bytes pushed to the other owners so a later primary death
+// still leaves the result warm somewhere.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	reg    *registry
+	client HTTPClient
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	st routerState
+
+	n gateCounters
+
+	probeStop chan struct{}
+	probeOnce sync.Once
+	probeWG   sync.WaitGroup
+	wg        sync.WaitGroup // drives + replication pushes
+}
+
+// routerState is the router's mutable routing state; every field is
+// guarded by mu (the struct carries nothing else, so the lockheld
+// convention — mutex siblings are guarded — reads literally).
+type routerState struct {
+	mu       sync.Mutex
+	drives   map[string]*drive
+	warm     map[string]string // key → shard that last served it
+	results  *resultLRU
+	inflight int
+	draining bool
+}
+
+// gateCounters are the router's aggregate routing statistics. All
+// volatile by nature: they follow health, scheduling and wall-clock,
+// never result bytes.
+type gateCounters struct {
+	routes, warmHits, fallbacks     atomic.Uint64
+	hedgesLaunched, hedgesWon       atomic.Uint64
+	failovers, retries429           atomic.Uint64
+	replicasPushed, replicasFailed  atomic.Uint64
+	probeDown, probeUp              atomic.Uint64
+	rejected, refused, drivesFailed atomic.Uint64
+}
+
+// drive is one in-flight routed job. state and errMsg change only
+// under routerState.mu; done closes exactly once at the terminal
+// state.
+type drive struct {
+	key     string
+	payload []byte
+	state   string
+	errMsg  string
+	shard   string // serving shard, set at completion
+	done    chan struct{}
+}
+
+// NewRouter builds a stopped router; Start launches the health prober.
+// The base context — parent of every drive — derives from ctx, so
+// cancelling ctx hard-stops all routing.
+func NewRouter(ctx context.Context, cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: Config.Shards is empty")
+	}
+	seen := make(map[string]bool, len(cfg.Shards))
+	names := make([]string, 0, len(cfg.Shards))
+	for _, s := range cfg.Shards {
+		if s.Name == "" || s.URL == "" {
+			return nil, fmt.Errorf("cluster: shard needs both name and URL (got %+v)", s)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", s.Name)
+		}
+		seen[s.Name] = true
+		names = append(names, s.Name)
+	}
+	cfg.fill()
+	if cfg.Client == nil {
+		// No overall client timeout: per-drive contexts bound every
+		// request, and a single deadline here would cap job runtime.
+		cfg.Client = &http.Client{}
+	}
+	r := &Router{
+		cfg:    cfg,
+		ring:   NewRing(names, cfg.VNodes),
+		reg:    newRegistry(cfg.Shards),
+		client: cfg.Client,
+		st: routerState{
+			drives:  make(map[string]*drive),
+			warm:    make(map[string]string),
+			results: newResultLRU(cfg.ResultCacheEntries),
+		},
+		probeStop: make(chan struct{}),
+	}
+	r.baseCtx, r.baseCancel = context.WithCancel(ctx)
+	return r, nil
+}
+
+// Start launches the health prober (when configured).
+func (r *Router) Start() {
+	if r.cfg.ProbeInterval > 0 {
+		r.probeWG.Add(1)
+		go r.probeLoop()
+	}
+}
+
+func (r *Router) probeLoop() {
+	defer r.probeWG.Done()
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.probeStop:
+			return
+		case <-r.baseCtx.Done():
+			return
+		case <-t.C:
+			r.ProbeNow()
+		}
+	}
+}
+
+// ProbeNow runs one probe round over every shard, in sorted-name
+// order. Exported so tests (and a prober-less router) can converge
+// health state deterministically.
+func (r *Router) ProbeNow() {
+	timeout := 500 * time.Millisecond
+	if r.cfg.ProbeInterval > 0 && r.cfg.ProbeInterval < timeout {
+		timeout = r.cfg.ProbeInterval
+	}
+	for _, name := range r.reg.names() {
+		sh, wasAlive, ok := r.reg.lookup(name)
+		if !ok {
+			continue
+		}
+		if err := probeShard(r.client, sh.URL, timeout); err != nil {
+			r.reg.observeFailure(name, r.cfg.ProbeFails)
+			if wasAlive && !r.reg.isAlive(name) {
+				r.n.probeDown.Add(1)
+			}
+		} else {
+			r.reg.observeSuccess(name)
+			if !wasAlive {
+				r.n.probeUp.Add(1)
+			}
+		}
+	}
+}
+
+func (r *Router) stopProber() {
+	r.probeOnce.Do(func() { close(r.probeStop) })
+	r.probeWG.Wait()
+}
+
+// Shutdown drains the router: new submissions get 503, in-flight
+// drives get until ctx's deadline to finish, then the base context is
+// cancelled and they abort. Safe to call more than once.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.st.mu.Lock()
+	r.st.draining = true
+	r.st.mu.Unlock()
+	r.stopProber()
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		r.baseCancel()
+		<-done
+	}
+	r.baseCancel()
+	return err
+}
+
+// Submit routes one normalized, validated spec: cluster-level
+// singleflight per key, bounded in-flight drives. It returns the job
+// id plus an HTTP-shaped (status string, code) mirroring vcprofd's
+// submit semantics, so gate clients are daemon clients.
+func (r *Router) Submit(spec *service.JobSpec) (id, state string, code int, err error) {
+	key := spec.Key()
+	payload, merr := json.Marshal(spec)
+	if merr != nil {
+		return key, "", http.StatusBadRequest, merr
+	}
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	if r.st.draining {
+		r.n.refused.Add(1)
+		return key, "", http.StatusServiceUnavailable, errors.New("gate is draining")
+	}
+	if _, ok := r.st.results.get(key); ok {
+		return key, service.StateDone, http.StatusOK, nil
+	}
+	if d, ok := r.st.drives[key]; ok && d.state != service.StateFailed {
+		return key, d.state, http.StatusAccepted, nil
+	}
+	if r.st.inflight >= r.cfg.MaxInflight {
+		r.n.rejected.Add(1)
+		return key, "", http.StatusTooManyRequests,
+			fmt.Errorf("gate saturated (%d drives in flight)", r.st.inflight)
+	}
+	d := &drive{key: key, payload: payload, state: service.StateQueued, done: make(chan struct{})}
+	r.st.drives[key] = d
+	r.st.inflight++
+	r.wg.Add(1)
+	go r.runDrive(d)
+	return key, service.StateQueued, http.StatusAccepted, nil
+}
+
+// Status reports a routed job's lifecycle state.
+func (r *Router) Status(id string) (state, errMsg string, cached, ok bool) {
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	if d, ok := r.st.drives[id]; ok {
+		return d.state, d.errMsg, false, true
+	}
+	if _, ok := r.st.results.get(id); ok {
+		return service.StateDone, "", true, true
+	}
+	return "", "", false, false
+}
+
+// CachedResult returns a completed job's bytes from the gate cache.
+func (r *Router) CachedResult(id string) ([]byte, bool) {
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	return r.st.results.get(id)
+}
+
+// FetchThrough serves a result the gate no longer holds by proxying
+// the owners (warm hint first); a hit refills the gate cache and warm
+// map. ctx is the caller's request context.
+func (r *Router) FetchThrough(ctx context.Context, id string) ([]byte, bool) {
+	for _, name := range r.candidateList(id) {
+		sh, _, ok := r.reg.lookup(name)
+		if !ok {
+			continue
+		}
+		body, err := getBytes(ctx, r.client, sh.URL+"/v1/results/"+id)
+		if err != nil {
+			continue
+		}
+		r.st.mu.Lock()
+		r.st.results.put(id, body)
+		r.st.warm[id] = name
+		r.st.mu.Unlock()
+		return body, true
+	}
+	return nil, false
+}
+
+// runDrive owns one key's routed lifecycle end to end.
+func (r *Router) runDrive(d *drive) {
+	defer r.wg.Done()
+	ctx, cancel := context.WithTimeout(r.baseCtx, r.cfg.DriveTimeout)
+	defer cancel()
+	out, err := r.race(ctx, d)
+
+	r.st.mu.Lock()
+	r.st.inflight--
+	if err != nil {
+		r.n.drivesFailed.Add(1)
+		if d.state != service.StateFailed && d.state != service.StateDone {
+			d.state = service.StateFailed
+			d.errMsg = err.Error()
+			close(d.done)
+		}
+		// Failed drives stay tracked so pollers can read the error; a
+		// resubmission replaces them (mirrors vcprofd's job table).
+		r.st.mu.Unlock()
+		return
+	}
+	r.st.results.put(d.key, out.body)
+	r.st.warm[d.key] = out.shard
+	d.state = service.StateDone
+	d.shard = out.shard
+	close(d.done)
+	delete(r.st.drives, d.key) // the result cache answers later polls
+	r.st.mu.Unlock()
+
+	r.n.routes.Add(1)
+	if out.warm {
+		r.n.warmHits.Add(1)
+	}
+	if out.hedge {
+		r.n.hedgesWon.Add(1)
+	}
+	r.reg.observeWin(out.shard, out.warm)
+	if r.cfg.Replicas > 1 {
+		r.replicate(d.key, out.shard, out.body)
+	}
+}
+
+// attemptOut is one shard attempt's outcome.
+type attemptOut struct {
+	shard string
+	body  []byte
+	warm  bool // the submit found the result already stored (warm route)
+	hedge bool
+	err   error
+}
+
+// race runs the hedged, failing-over attempt tournament for one drive:
+// a primary attempt, one hedge after the quantile-derived delay, and a
+// fresh candidate with doubled backoff each time an attempt dies.
+// First success wins; the shared context cancellation aborts every
+// loser's in-flight request and poll sleep, and the WaitGroup join
+// guarantees no attempt goroutine outlives the race.
+func (r *Router) race(ctx context.Context, d *drive) (attemptOut, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	maxLaunches := r.cfg.MaxAttempts + 1 // failover chain plus one hedge slot
+	results := make(chan attemptOut, maxLaunches)
+	tried := make(map[string]bool, maxLaunches)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	active, launched := 0, 0
+	launch := func(hedge bool) (string, bool) {
+		name, ok := r.nextCandidate(d.key, tried)
+		if !ok {
+			return "", false
+		}
+		tried[name] = true
+		launched++
+		active++
+		if hedge {
+			r.n.hedgesLaunched.Add(1)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- r.attempt(ctx, name, d, hedge)
+		}()
+		return name, true
+	}
+
+	primary, ok := launch(false)
+	if !ok {
+		return attemptOut{}, errors.New("no live shard for key " + d.key)
+	}
+	hedgeTimer := time.NewTimer(r.hedgeDelay(primary))
+	defer hedgeTimer.Stop()
+	hedged := false
+	backoff := r.cfg.RetryBackoff
+	var firstErr error
+
+	for active > 0 {
+		select {
+		case <-ctx.Done():
+			return attemptOut{}, ctx.Err()
+		case <-hedgeTimer.C:
+			if !hedged && launched < maxLaunches {
+				if _, ok := launch(true); ok {
+					hedged = true
+				}
+			}
+		case out := <-results:
+			active--
+			if out.err == nil {
+				return out, nil
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			r.reg.observeFailure(out.shard, r.cfg.ProbeFails)
+			if launched < maxLaunches {
+				if err := sleepCtx(ctx, backoff); err != nil {
+					return attemptOut{}, err
+				}
+				backoff *= 2
+				if _, ok := launch(false); ok {
+					r.n.failovers.Add(1)
+				}
+			}
+		}
+	}
+	return attemptOut{}, fmt.Errorf("all %d attempts failed; first: %w", launched, firstErr)
+}
+
+// nextCandidate picks the best untried shard for a key: the warm hint,
+// then the ring owners in replica order, then any live shard in
+// sorted-name order (counted as a fallback route), then — probe lag's
+// last resort — any untried shard at all.
+func (r *Router) nextCandidate(key string, tried map[string]bool) (string, bool) {
+	r.st.mu.Lock()
+	hint := r.st.warm[key]
+	r.st.mu.Unlock()
+	if hint != "" && !tried[hint] && r.reg.isAlive(hint) {
+		return hint, true
+	}
+	for _, o := range r.ring.Owners(key, r.cfg.Replicas) {
+		if !tried[o] && r.reg.isAlive(o) {
+			return o, true
+		}
+	}
+	for _, n := range r.reg.aliveNames() {
+		if !tried[n] {
+			r.n.fallbacks.Add(1)
+			return n, true
+		}
+	}
+	for _, n := range r.reg.names() {
+		if !tried[n] {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// candidateList is nextCandidate's order as a full list, for read-side
+// proxying (FetchThrough).
+func (r *Router) candidateList(key string) []string {
+	tried := make(map[string]bool)
+	var out []string
+	for {
+		n, ok := r.nextCandidate(key, tried)
+		if !ok {
+			return out
+		}
+		tried[n] = true
+		out = append(out, n)
+	}
+}
+
+// hedgeDelay derives the hedge trigger from the primary shard's served
+// latency quantile, clamped to [HedgeMin, HedgeMax]; a shard without
+// enough observations hedges at HedgeMax (late) rather than doubling
+// work on a cold cluster.
+func (r *Router) hedgeDelay(shard string) time.Duration {
+	snap := shardHist(shard).Snapshot()
+	if snap.Count < uint64(r.cfg.HedgeAfter) {
+		return r.cfg.HedgeMax
+	}
+	d := time.Duration(snap.Quantile(r.cfg.HedgeQuantile)) * time.Millisecond
+	if d < r.cfg.HedgeMin {
+		d = r.cfg.HedgeMin
+	}
+	if d > r.cfg.HedgeMax {
+		d = r.cfg.HedgeMax
+	}
+	return d
+}
+
+// attempt runs one shard attempt and observes its served latency.
+func (r *Router) attempt(ctx context.Context, name string, d *drive, hedge bool) attemptOut {
+	sh, _, ok := r.reg.lookup(name)
+	if !ok {
+		return attemptOut{shard: name, hedge: hedge, err: fmt.Errorf("unknown shard %q", name)}
+	}
+	t0 := time.Now()
+	body, warm, err := r.driveShard(ctx, sh.URL, d)
+	if err != nil {
+		return attemptOut{shard: name, hedge: hedge, err: fmt.Errorf("shard %s: %w", name, err)}
+	}
+	shardHist(name).Observe(uint64(time.Since(t0).Milliseconds()))
+	r.reg.observeSuccess(name)
+	return attemptOut{shard: name, body: body, warm: warm, hedge: hedge}
+}
+
+// wireStatus mirrors vcprofd's jobStatus wire form.
+type wireStatus struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error"`
+}
+
+// driveShard pushes one job through a shard's full lifecycle: submit
+// (429s retried in place with backoff), poll, fetch. warm reports
+// whether the submit was answered from the shard's store — the
+// warm-route signal the cluster smoke asserts on.
+func (r *Router) driveShard(ctx context.Context, base string, d *drive) (body []byte, warm bool, err error) {
+	for {
+		st, code, err := r.postJSON(ctx, base+"/v1/jobs", d.payload)
+		if err != nil {
+			return nil, false, err
+		}
+		if code == http.StatusTooManyRequests {
+			r.n.retries429.Add(1)
+			if err := sleepCtx(ctx, 25*time.Millisecond); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		switch code {
+		case http.StatusOK:
+			warm = true
+		case http.StatusAccepted:
+		default:
+			return nil, false, fmt.Errorf("submit: HTTP %d: %s", code, st.Error)
+		}
+		if st.ID != d.key {
+			return nil, false, fmt.Errorf("submit: shard key %s != gate key %s", st.ID, d.key)
+		}
+		break
+	}
+	r.setRunning(d)
+	delay := 1 * time.Millisecond
+	for {
+		st, code, err := r.getJSON(ctx, base+"/v1/jobs/"+d.key)
+		if err != nil {
+			return nil, false, err
+		}
+		if code != http.StatusOK {
+			return nil, false, fmt.Errorf("poll: HTTP %d: %s", code, st.Error)
+		}
+		if st.Status == service.StateFailed {
+			return nil, false, fmt.Errorf("job failed on shard: %s", st.Error)
+		}
+		if st.Status == service.StateDone {
+			break
+		}
+		if err := sleepCtx(ctx, delay); err != nil {
+			return nil, false, err
+		}
+		if delay < 50*time.Millisecond {
+			delay *= 2
+		}
+	}
+	body, err = getBytes(ctx, r.client, base+"/v1/results/"+d.key)
+	if err != nil {
+		return nil, false, err
+	}
+	return body, warm, nil
+}
+
+func (r *Router) setRunning(d *drive) {
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	if d.state == service.StateQueued {
+		d.state = service.StateRunning
+	}
+}
+
+// replicate pushes completed bytes to the key's other live owners so a
+// later primary death still finds the result warm. Content addressing
+// makes the push idempotent: a re-put of an existing key is a no-op on
+// the shard, so retries and races can never duplicate side effects.
+func (r *Router) replicate(key, serving string, body []byte) {
+	for _, o := range r.ring.Owners(key, r.cfg.Replicas) {
+		if o == serving || !r.reg.isAlive(o) {
+			continue
+		}
+		sh, _, ok := r.reg.lookup(o)
+		if !ok {
+			continue
+		}
+		r.wg.Add(1)
+		go func(url string) {
+			defer r.wg.Done()
+			ctx, cancel := context.WithTimeout(r.baseCtx, 10*time.Second)
+			defer cancel()
+			if err := putBytes(ctx, r.client, url+"/v1/results/"+key, body); err != nil {
+				r.n.replicasFailed.Add(1)
+				return
+			}
+			r.n.replicasPushed.Add(1)
+		}(sh.URL)
+	}
+}
+
+// --- HTTP helpers -----------------------------------------------------
+
+func (r *Router) postJSON(ctx context.Context, url string, payload []byte) (wireStatus, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return wireStatus{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doJSON(r.client, req)
+}
+
+func (r *Router) getJSON(ctx context.Context, url string) (wireStatus, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return wireStatus{}, 0, err
+	}
+	return doJSON(r.client, req)
+}
+
+func doJSON(client HTTPClient, req *http.Request) (wireStatus, int, error) {
+	resp, err := client.Do(req)
+	if err != nil {
+		return wireStatus{}, 0, err
+	}
+	defer resp.Body.Close()
+	var st wireStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil && resp.StatusCode < 500 {
+		return wireStatus{}, resp.StatusCode, fmt.Errorf("bad status body: %w", err)
+	}
+	return st, resp.StatusCode, nil
+}
+
+func getBytes(ctx context.Context, client HTTPClient, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return body, nil
+}
+
+func putBytes(ctx context.Context, client HTTPClient, url string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<14))
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replica put: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// contextWithTimeout mints a probe-scoped context. Probes run from the
+// router's background loop, not from any HTTP handler.
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+// --- result LRU -------------------------------------------------------
+
+// resultLRU is the gate's bounded in-memory cache of completed result
+// bodies, guarded by routerState.mu.
+type resultLRU struct {
+	cap int
+	m   map[string]*list.Element
+	l   *list.List // front = most recently used
+}
+
+type resultEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultLRU(capEntries int) *resultLRU {
+	return &resultLRU{cap: capEntries, m: make(map[string]*list.Element), l: list.New()}
+}
+
+func (c *resultLRU) get(key string) ([]byte, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.l.MoveToFront(el)
+	return el.Value.(*resultEntry).body, true
+}
+
+func (c *resultLRU) put(key string, body []byte) {
+	if el, ok := c.m[key]; ok {
+		c.l.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.l.PushFront(&resultEntry{key: key, body: body})
+	for c.l.Len() > c.cap {
+		el := c.l.Back()
+		delete(c.m, el.Value.(*resultEntry).key)
+		c.l.Remove(el)
+	}
+}

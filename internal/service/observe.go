@@ -27,6 +27,12 @@ var (
 	obsStoreEvictions = obs.NewVolatileCounter("svc.store.evictions")
 	obsStorePutBytes  = obs.NewVolatileCounter("svc.store.put_bytes")
 
+	// Cluster traffic: replica writes a gate pushed (PUT /v1/results)
+	// and ownership-hint probes (HEAD /v1/results). Volatile — both
+	// follow the router's racing, not the job set.
+	obsReplicaPuts = obs.NewVolatileCounter("svc.replica.puts")
+	obsOwnerProbes = obs.NewVolatileCounter("svc.owner.probes")
+
 	// Span names for worker job lanes in the Chrome trace.
 	obsJobDoneName   = obs.Name("job/done")
 	obsJobFailedName = obs.Name("job/failed")

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -58,6 +59,10 @@ type Config struct {
 	// equal-priority jobs by their static cost estimate, shortest
 	// first; "fifo" by arrival alone.
 	Admission string
+	// ShardName identifies this daemon in a vcgate cluster; it is
+	// echoed by GET /v1/registry so router probes can confirm they
+	// reached the shard they meant to (default "vcprofd").
+	ShardName string
 }
 
 func (c *Config) fill() {
@@ -81,6 +86,9 @@ func (c *Config) fill() {
 	}
 	if c.Admission == "" {
 		c.Admission = "sjf"
+	}
+	if c.ShardName == "" {
+		c.ShardName = "vcprofd"
 	}
 }
 
@@ -235,6 +243,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("HEAD /v1/results/{id}", s.handleResultHead)
+	mux.HandleFunc("PUT /v1/results/{id}", s.handleResultPut)
+	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	mux.HandleFunc("GET /v1/jobs/{id}/topdown", s.handleJobTopdown)
 	mux.HandleFunc("GET /v1/telemetry/topdown", s.handleTopdown)
 	mux.HandleFunc("GET /v1/telemetry/series", s.handleSeries)
@@ -355,6 +366,95 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeError(w, http.StatusNotFound, "no result for %q", id)
+}
+
+// handleResultHead is the router's ownership-hint probe: 200 when this
+// shard's store holds the result, 404 otherwise, no body either way. A
+// gate uses it to warm-route and to answer status queries for jobs it
+// never drove itself.
+func (s *Server) handleResultHead(w http.ResponseWriter, r *http.Request) {
+	obsOwnerProbes.Add(1)
+	if s.store.Contains(r.PathValue("id")) {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	w.WriteHeader(http.StatusNotFound)
+}
+
+// isResultKey reports whether id has the canonical content-address
+// shape: 64 lowercase hex characters (a JobSpec.Key).
+func isResultKey(id string) bool {
+	if len(id) != 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handleResultPut accepts a replica write: a gate pushing completed
+// result bytes to this shard so a future routed job finds them warm.
+// Keys are content addresses, so re-putting an existing key is a no-op
+// and concurrent identical puts converge on the same bytes — the write
+// is idempotent by construction.
+func (s *Server) handleResultPut(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		obsJobsRefused.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	id := r.PathValue("id")
+	if !isResultKey(id) {
+		writeError(w, http.StatusBadRequest, "bad result key %q (want 64 hex chars)", id)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "replica body: %v", err)
+		return
+	}
+	if len(data) == 0 {
+		writeError(w, http.StatusBadRequest, "empty replica body")
+		return
+	}
+	if err := s.store.Put(id, data); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	obsReplicaPuts.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleRegistry is the lightweight shard-registry protocol: one
+// document naming the shard, its lifecycle state, and enough occupancy
+// detail for a router to probe health and reason about capacity.
+func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
+	state := "serving"
+	if s.draining.Load() {
+		state = "draining"
+	}
+	st := s.store.Stats()
+	writeJSON(w, http.StatusOK, registryInfo{
+		Name:         s.cfg.ShardName,
+		State:        state,
+		StoreObjects: st.Objects,
+		StoreBytes:   st.Bytes,
+		QueueDepth:   s.q.depth(),
+	})
+}
+
+// registryInfo is the GET /v1/registry wire document (the cluster
+// package keeps a matching decoder, cluster.RegistryInfo).
+type registryInfo struct {
+	Name         string `json:"name"`
+	State        string `json:"state"`
+	StoreObjects int    `json:"store_objects"`
+	StoreBytes   int64  `json:"store_bytes"`
+	QueueDepth   int    `json:"queue_depth"`
 }
 
 // handleMetrics renders the Prometheus text exposition v0.0.4 over the
