@@ -13,7 +13,7 @@ FUZZTIME ?= 10s
 # (`make bench BENCH_OUT=BENCH_prN`) when cutting a new trajectory.
 # Smoke targets that compare against a specific PR's numbers pin their
 # own BENCH_OUT below, so bumping this default cannot repoint them.
-BENCH_OUT ?= BENCH_pr7
+BENCH_OUT ?= BENCH_pr9
 
 # Every stdlib vet pass, spelled out (from `go tool vet help`) so a
 # toolchain that grows a new pass fails loudly here instead of silently
@@ -25,9 +25,9 @@ VET_PASSES = -appends -asmdecl -assign -atomic -bools -buildtag \
 	-stringintconv -structtag -testinggoroutine -tests -timeformat \
 	-unmarshal -unreachable -unsafeptr -unusedresult
 
-.PHONY: ci fmt vet build lint lint-fixtures test race golden bench bench-short fuzz-smoke serve-smoke telemetry-smoke sched-smoke cluster-smoke
+.PHONY: ci fmt vet build lint lint-fixtures test race golden bench bench-short fuzz-smoke serve-smoke telemetry-smoke sched-smoke cluster-smoke live-smoke
 
-ci: fmt vet build lint lint-fixtures test fuzz-smoke bench-short serve-smoke telemetry-smoke sched-smoke cluster-smoke race
+ci: fmt vet build lint lint-fixtures test fuzz-smoke bench-short serve-smoke telemetry-smoke sched-smoke cluster-smoke live-smoke race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -67,7 +67,7 @@ test:
 race:
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/harness ./internal/encoders \
 		./internal/service ./internal/sched ./internal/obs ./internal/telemetry \
-		./internal/uarch/topdown ./internal/cluster/...
+		./internal/uarch/topdown ./internal/cluster/... ./internal/live
 
 # Regenerate the golden regression tables after an intentional change,
 # then review the diff under internal/harness/testdata/golden/.
@@ -117,6 +117,15 @@ sched-smoke:
 # scripts/cluster_smoke.sh.
 cluster-smoke:
 	BENCH_OUT=BENCH_pr8 GO="$(GO)" sh scripts/cluster_smoke.sh
+
+# End-to-end smoke of the live-encode session engine: the same seeded
+# session mix in-process, over a single vcprofd, and through vcgate
+# over 3 shards with one SIGKILLed mid-run must produce identical
+# digests with zero deadline misses; ABR ladder sharing must save
+# >=20% instructions with byte-identical output. See
+# scripts/live_smoke.sh.
+live-smoke:
+	BENCH_OUT=BENCH_pr9 GO="$(GO)" sh scripts/live_smoke.sh
 
 # Ten-second smoke of each fuzz target over its committed seed corpus.
 # Finding a crasher here fails CI; reproduce with the file Go writes

@@ -60,3 +60,33 @@ func BumpGood() {
 func BumpBad() {
 	stats.gets++ // want `lockheld: field stats\.gets is guarded`
 }
+
+// drainGate mirrors the live-session table's shutdown shape: a
+// sync.WaitGroup sharing a struct with the mutex is guarded state like
+// any sibling field, so feed pins and drains must take the lock (or
+// snapshot the pointer under it) before touching the group.
+type drainGate struct {
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// BeginFeed pins an in-flight feed under the lock.
+func (g *drainGate) BeginFeed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return false
+	}
+	g.wg.Add(1)
+	return true
+}
+
+// Drain blocks on the gate without ever taking the lock.
+func (g *drainGate) Drain() {
+	g.wg.Wait() // want `lockheld: field g\.wg is guarded`
+}
+
+// drainLocked is exempt by the naming convention: the caller owns the
+// lock, so the unlocked read is accepted.
+func (g *drainGate) drainLocked() bool { return g.closed }

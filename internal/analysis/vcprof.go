@@ -19,13 +19,16 @@ import "fmt"
 //     path, every scheduler task body (implementations of
 //     sched.Graph.Run and encoders.TaskGraph.Run), the obs
 //     deterministic writers (Trace.Advance/Begin, Span.End,
-//     Counter.Add), and the cluster fold-digest root
-//     (cluster.FoldDigest, the value every cross-topology equivalence
-//     test compares) — are tainted through the module call graph, and
+//     Counter.Add), the cluster fold-digest root (cluster.FoldDigest,
+//     the value every cross-topology equivalence test compares), and
+//     the live-session roots (live.Session.Feed, whose virtual-tick
+//     timeline decides misses and degrades, and live.SessionDigest,
+//     the value the live smoke compares across topologies) — are
+//     tainted through the module call graph, and
 //     any reachable volatile source in the deterministic core is
 //     reported with its root→sink chain (vclint -why).
 //   - lockorder (whole-program): the mutex-bearing layers (sched,
-//     service, harness, obs, cluster) plus video's caches must acquire
+//     service, harness, obs, cluster, live) plus video's caches must acquire
 //     lock classes in a cycle-free order; cycles are potential
 //     deadlocks. The cluster router's contract — the shard registry's
 //     mutex is a leaf, never held across an HTTP call or a histogram
@@ -40,8 +43,9 @@ import "fmt"
 //   - lockheld: the engine's worker pool hits the cell/clip caches and
 //     the experiment registry concurrently, so their mutex discipline
 //     is checked in harness and video; the service daemon's queue, job
-//     table and result store, and the cluster router's drive/warm/LRU
-//     state are in scope for the same reason.
+//     table and result store, the cluster router's drive/warm/LRU
+//     state, and the live session engine's per-session state are in
+//     scope for the same reason.
 //   - hotalloc: the codec kernels and the per-op simulator loops are
 //     the measured hot paths; allocations there distort the counts the
 //     experiments report.
@@ -76,6 +80,7 @@ func VCProfAnalyzers() []*Analyzer {
 				"vcprof/internal/harness.RunCell",
 				"vcprof/internal/harness.RunExperiment",
 				"vcprof/internal/cluster.FoldDigest",
+				"vcprof/internal/live.SessionDigest",
 			},
 			Methods: []string{
 				"vcprof/internal/encoders.model.Encode",
@@ -83,6 +88,7 @@ func VCProfAnalyzers() []*Analyzer {
 				"vcprof/internal/obs.Trace.Begin",
 				"vcprof/internal/obs.Span.End",
 				"vcprof/internal/obs.Counter.Add",
+				"vcprof/internal/live.Session.Feed",
 			},
 			IfaceImpls: []string{
 				"vcprof/internal/sched.Graph.Run",
@@ -102,6 +108,7 @@ func VCProfAnalyzers() []*Analyzer {
 				"vcprof/internal/cbp",
 				"vcprof/internal/core",
 				"vcprof/internal/cluster",
+				"vcprof/internal/live",
 			},
 		}),
 		NewLockOrder([]string{
@@ -111,6 +118,7 @@ func VCProfAnalyzers() []*Analyzer {
 			"vcprof/internal/obs",
 			"vcprof/internal/video",
 			"vcprof/internal/cluster",
+			"vcprof/internal/live",
 		}),
 		NewShardPure(ShardPureConfig{
 			TaskIfaces: []string{
@@ -129,6 +137,7 @@ func VCProfAnalyzers() []*Analyzer {
 			"vcprof/internal/video",
 			"vcprof/internal/service",
 			"vcprof/internal/cluster",
+			"vcprof/internal/live",
 		}),
 		NewHotAlloc([]string{
 			"vcprof/internal/codec/transform",
@@ -142,6 +151,7 @@ func VCProfAnalyzers() []*Analyzer {
 		NewHTTPCtx([]string{
 			"vcprof/internal/service",
 			"vcprof/internal/cluster",
+			"vcprof/internal/live",
 			"vcprof/cmd",
 		}),
 		NewHistBuckets(),

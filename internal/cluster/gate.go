@@ -30,6 +30,9 @@ type Stats struct {
 	DrivesFailed   uint64  `json:"drives_failed"`
 	Inflight       int     `json:"inflight"`
 
+	SessionsOpened   uint64 `json:"sessions_opened"`
+	SessionFailovers uint64 `json:"session_failovers"`
+
 	Shards []ShardStats `json:"shards"`
 }
 
@@ -54,6 +57,9 @@ func (r *Router) StatsNow() Stats {
 		DrivesFailed:   r.n.drivesFailed.Load(),
 		Inflight:       inflight,
 		Shards:         r.reg.snapshot(shardLatency),
+
+		SessionsOpened:   r.sessions.opened.Load(),
+		SessionFailovers: r.sessions.failovers.Load(),
 	}
 	if s.Routes > 0 {
 		s.WarmRatePct = 100 * float64(s.WarmHits) / float64(s.Routes)
@@ -67,6 +73,9 @@ func (r *Router) StatsNow() Stats {
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", r.handleSubmit)
+	mux.HandleFunc("POST /v1/sessions", r.handleSessionCreate)
+	mux.HandleFunc("POST /v1/sessions/{id}/frames", r.handleSessionFeed)
+	mux.HandleFunc("GET /v1/sessions/{id}/stats", r.handleSessionStats)
 	mux.HandleFunc("GET /v1/jobs/{id}", r.handleStatus)
 	mux.HandleFunc("GET /v1/results/{id}", r.handleResult)
 	mux.HandleFunc("GET /v1/cluster/stats", r.handleStats)

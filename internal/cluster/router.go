@@ -29,10 +29,11 @@ type HTTPClient interface {
 // completed bytes pushed to the other owners so a later primary death
 // still leaves the result warm somewhere.
 type Router struct {
-	cfg    Config
-	ring   *Ring
-	reg    *registry
-	client HTTPClient
+	cfg      Config
+	ring     *Ring
+	reg      *registry
+	client   HTTPClient
+	sessions *gateSessionTable
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -109,10 +110,11 @@ func NewRouter(ctx context.Context, cfg Config) (*Router, error) {
 		cfg.Client = &http.Client{}
 	}
 	r := &Router{
-		cfg:    cfg,
-		ring:   NewRing(names, cfg.VNodes),
-		reg:    newRegistry(cfg.Shards),
-		client: cfg.Client,
+		cfg:      cfg,
+		ring:     NewRing(names, cfg.VNodes),
+		reg:      newRegistry(cfg.Shards),
+		client:   cfg.Client,
+		sessions: newGateSessionTable(),
 		st: routerState{
 			drives:  make(map[string]*drive),
 			warm:    make(map[string]string),

@@ -49,6 +49,9 @@ func (m *model) Encode(ctx context.Context, clip *video.Clip, opts Options) (*Re
 	}
 	wall := time.Since(start) //lint:ignore detnow,detflow same contract as above: informational Result.Wall only
 
+	if c := opts.AnalysisPublish; c != nil {
+		c.seal()
+	}
 	return m.assemble(se, ws, clip, wall)
 }
 
@@ -68,6 +71,13 @@ func (m *model) assemble(se *streamEncoder, ws *workerSet, clip *video.Clip, wal
 			res.KeyFrames = append(res.KeyFrames, pic.index)
 		}
 		res.FrameStages = append(res.FrameStages, pic.stages)
+		if pic.intraGrid != nil {
+			var sum uint64
+			for _, v := range pic.intraGrid {
+				sum += uint64(v)
+			}
+			res.IntraCosts = append(res.IntraCosts, sum)
+		}
 	}
 	var err error
 	if res.PSNR, err = metrics.SequencePSNR(clip.Frames, res.Recon); err != nil {

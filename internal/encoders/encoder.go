@@ -74,6 +74,24 @@ type Options struct {
 	// SceneCut inserts keyframes at detected scene changes (open-loop
 	// lookahead over the source frames), in addition to KeyInterval.
 	SceneCut bool
+	// AnalyzeIntra extends the open-loop analysis stage with a
+	// lookahead intra-cost pass: per analysis cell, a reduced fixed
+	// intra mode set is evaluated on downsampled source pixels and the
+	// best SATD is reported in Result.IntraCosts. The pass never feeds
+	// back into encode decisions (bitstreams are unchanged); it exists
+	// for complexity-driven policies (live degrade, rate forecasting)
+	// and is shareable across ladder rungs like the motion grid.
+	AnalyzeIntra bool
+	// AnalysisPublish records this encode's open-loop motion analysis
+	// into the cache for later same-source encodes to reuse; Encode
+	// seals the cache on success. Mutually exclusive with
+	// AnalysisConsume. See AnalysisCache.
+	AnalysisPublish *AnalysisCache
+	// AnalysisConsume reuses a sealed cache's analysis grids instead of
+	// searching, charging only the modeled copy cost — the ABR
+	// ladder-share path. The cache must have been published for the
+	// same source frames and preset toolset.
+	AnalysisConsume *AnalysisCache
 }
 
 // Result reports the outcome of an encode.
@@ -106,6 +124,11 @@ type Result struct {
 	// breakdown (motion/intra/transform/quant/entropy/other), summed
 	// from task-level snapshots; deterministic across thread counts.
 	FrameStages []trace.StageCounts
+	// IntraCosts is the per-frame summed open-loop intra SATD (only
+	// with AnalyzeIntra; zero for frame 0, which has no analysis pass).
+	// Depends only on source pixels — a CRF-independent complexity
+	// signal.
+	IntraCosts []uint64
 }
 
 // Encoder is one encoder model.
@@ -175,6 +198,9 @@ func (m *model) validate(clip *video.Clip, opts Options) error {
 	}
 	if opts.TargetKbps < 0 {
 		return fmt.Errorf("encoders: negative target bitrate %v", opts.TargetKbps)
+	}
+	if opts.AnalysisPublish != nil && opts.AnalysisConsume != nil {
+		return fmt.Errorf("encoders: AnalysisPublish and AnalysisConsume are mutually exclusive")
 	}
 	return nil
 }

@@ -69,7 +69,10 @@ type picture struct {
 	recU   codec.Surface
 	recV   codec.Surface
 	mvGrid []codec.MV
-	bytes  int
+	// intraGrid holds the open-loop lookahead intra cost per analysis
+	// cell (only with Options.AnalyzeIntra).
+	intraGrid []uint32
+	bytes     int
 	// Per-frame quantizer parameters: equal to the stream defaults in
 	// CRF mode, adapted per frame by the rate controller in ABR mode.
 	qindex int
@@ -209,6 +212,16 @@ func newStreamEncoder(spec familySpec, clip *video.Clip, opts Options) (*streamE
 			}
 		}
 	}
+	if c := opts.AnalysisPublish; c != nil {
+		if err := c.prepare(se); err != nil {
+			return nil, err
+		}
+	}
+	if c := opts.AnalysisConsume; c != nil {
+		if err := c.check(se); err != nil {
+			return nil, err
+		}
+	}
 	return se, nil
 }
 
@@ -253,6 +266,9 @@ func (se *streamEncoder) newPicture(idx int, f *video.Frame) (*picture, error) {
 	padInto(p.srcU.Plane, f.U)
 	padInto(p.srcV.Plane, f.V)
 	p.mvGrid = make([]codec.MV, se.gw*se.gh)
+	if se.opts.AnalyzeIntra {
+		p.intraGrid = make([]uint32, se.gw*se.gh)
+	}
 	if err := p.setQIndex(se.qindex, se.spec.rdBonus); err != nil {
 		return nil, err
 	}
@@ -365,6 +381,10 @@ func (se *streamEncoder) analyzeRows(tc *trace.Ctx, pic, prev *picture, gy0, gy1
 	}
 	tc.Enter(fnAnalysis)
 	defer tc.Leave()
+	if c := se.opts.AnalysisConsume; c != nil {
+		c.copyRows(tc, pic, se.gw, gy0, gy1, gx0, gx1)
+		return nil
+	}
 	for gy := gy0; gy < gy1; gy++ {
 		for gx := gx0; gx < gx1; gx++ {
 			pred := codec.MV{}
@@ -378,6 +398,14 @@ func (se *streamEncoder) analyzeRows(tc *trace.Ctx, pic, prev *picture, gy0, gy1
 			}
 			pic.mvGrid[gy*se.gw+gx] = res.MV
 		}
+	}
+	if se.opts.AnalyzeIntra {
+		if err := se.analyzeIntraRows(tc, pic, gy0, gy1, gx0, gx1); err != nil {
+			return err
+		}
+	}
+	if c := se.opts.AnalysisPublish; c != nil {
+		c.publishRows(pic, se.gw, gy0, gy1, gx0, gx1)
 	}
 	return nil
 }

@@ -1,0 +1,144 @@
+package encoders
+
+import (
+	"fmt"
+	"sync"
+
+	"vcprof/internal/codec"
+	"vcprof/internal/codec/motion"
+	"vcprof/internal/trace"
+)
+
+// AnalysisCache shares the open-loop motion-analysis stage across
+// encodes of the same source frames. The analysis MV grid depends only
+// on the source pixels and the preset-derived search configuration
+// (motion algorithm + range), never on CRF or rate control, so ABR
+// ladder rungs that differ only in quality can compute it once at the
+// top rung and reuse it everywhere — the classic shared-lookahead trick
+// real ladder encoders use, and a measurable instruction-count saving.
+//
+// Protocol: one encode runs with Options.AnalysisPublish set and fills
+// the cache as a side effect; Encode seals it on success. Any number of
+// later encodes run with Options.AnalysisConsume set and copy the grids
+// instead of searching. Consuming an unsealed cache or one built for a
+// different source/toolset is an error, never a silent recompute — a
+// recompute fallback would make instruction counts depend on encode
+// ordering and break the determinism contract.
+//
+// Concurrency: grid storage is pre-allocated before the publishing
+// encode starts, so concurrent analysis tasks write disjoint indexed
+// regions without locking; the mutex guards only prepare/seal/check
+// bookkeeping. Consumers only read after seal, which the publisher's
+// task-graph completion orders before any consumer task starts.
+type AnalysisCache struct {
+	mu     sync.Mutex
+	sealed bool
+	frames int
+	w, h   int
+	gw, gh int
+	alg    motion.Algorithm
+	rng    int
+	intra  bool
+	grids  [][]codec.MV
+	// intraGrids mirrors the lookahead intra cost grids (only when the
+	// publishing encode ran with AnalyzeIntra).
+	intraGrids [][]uint32
+}
+
+// shareCopyOps is the modeled per-grid-cell cost of reusing a cached MV
+// (load + store + loop overhead) — what remains of the analysis stage
+// when the search itself is skipped.
+const shareCopyOps = 4
+
+// prepare claims the cache for a publishing encode, recording the
+// source/toolset identity and allocating every frame's grid.
+func (c *AnalysisCache) prepare(se *streamEncoder) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sealed || c.grids != nil {
+		return fmt.Errorf("encoders: analysis cache already published")
+	}
+	c.frames = len(se.pics)
+	c.w, c.h = se.w, se.h
+	c.gw, c.gh = se.gw, se.gh
+	c.alg = se.ts.motionAlg
+	c.rng = se.ts.motionRange
+	c.intra = se.opts.AnalyzeIntra
+	c.grids = make([][]codec.MV, c.frames)
+	for i := range c.grids {
+		c.grids[i] = make([]codec.MV, c.gw*c.gh)
+	}
+	if c.intra {
+		c.intraGrids = make([][]uint32, c.frames)
+		for i := range c.intraGrids {
+			c.intraGrids[i] = make([]uint32, c.gw*c.gh)
+		}
+	}
+	return nil
+}
+
+// seal marks the publishing encode complete; only sealed caches may be
+// consumed.
+func (c *AnalysisCache) seal() {
+	c.mu.Lock()
+	c.sealed = true
+	c.mu.Unlock()
+}
+
+// check validates that a consuming encode matches the sealed cache's
+// source dimensions and analysis toolset.
+func (c *AnalysisCache) check(se *streamEncoder) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.sealed {
+		return fmt.Errorf("encoders: analysis cache consumed before publish completed")
+	}
+	if len(se.pics) != c.frames {
+		return fmt.Errorf("encoders: analysis cache holds %d frames, encode has %d", c.frames, len(se.pics))
+	}
+	if se.w != c.w || se.h != c.h || se.gw != c.gw || se.gh != c.gh {
+		return fmt.Errorf("encoders: analysis cache built for %dx%d (grid %dx%d), encode is %dx%d (grid %dx%d)",
+			c.w, c.h, c.gw, c.gh, se.w, se.h, se.gw, se.gh)
+	}
+	if se.ts.motionAlg != c.alg || se.ts.motionRange != c.rng {
+		return fmt.Errorf("encoders: analysis cache built for a different preset toolset (alg/range mismatch)")
+	}
+	if se.opts.AnalyzeIntra && !c.intra {
+		return fmt.Errorf("encoders: analysis cache published without AnalyzeIntra, encode needs it")
+	}
+	return nil
+}
+
+// publishRows mirrors an analyzed region into the cache. Regions of
+// concurrent tasks are disjoint, so indexed stores need no lock.
+func (c *AnalysisCache) publishRows(pic *picture, gw, gy0, gy1, gx0, gx1 int) {
+	dst := c.grids[pic.index]
+	for gy := gy0; gy < gy1; gy++ {
+		copy(dst[gy*gw+gx0:gy*gw+gx1], pic.mvGrid[gy*gw+gx0:gy*gw+gx1])
+	}
+	if c.intra && pic.intraGrid != nil {
+		di := c.intraGrids[pic.index]
+		for gy := gy0; gy < gy1; gy++ {
+			copy(di[gy*gw+gx0:gy*gw+gx1], pic.intraGrid[gy*gw+gx0:gy*gw+gx1])
+		}
+	}
+}
+
+// copyRows replaces the motion search of analyzeRows with a cached-grid
+// copy, charging the modeled per-cell reuse cost to the analysis stage
+// so the saving is visible in instruction counts rather than silently
+// free.
+func (c *AnalysisCache) copyRows(tc *trace.Ctx, pic *picture, gw, gy0, gy1, gx0, gx1 int) {
+	src := c.grids[pic.index]
+	for gy := gy0; gy < gy1; gy++ {
+		copy(pic.mvGrid[gy*gw+gx0:gy*gw+gx1], src[gy*gw+gx0:gy*gw+gx1])
+		tc.Op(trace.OpOther, shareCopyOps*(gx1-gx0))
+	}
+	if pic.intraGrid != nil && c.intra {
+		si := c.intraGrids[pic.index]
+		for gy := gy0; gy < gy1; gy++ {
+			copy(pic.intraGrid[gy*gw+gx0:gy*gw+gx1], si[gy*gw+gx0:gy*gw+gx1])
+			tc.Op(trace.OpOther, shareCopyOps*(gx1-gx0))
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package live
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// SessionDigest folds per-GOP digests into one session digest: the
+// SHA-256 of the concatenated GOP digests in GOP-index order. Because
+// the fold is ordered by GOP index — not encode or arrival order — any
+// schedule, feed batching, or shard placement that encodes the same
+// GOPs yields the same session digest. Mirrors cluster.FoldDigest,
+// which does the same for job results.
+func SessionDigest(ds [][32]byte) string {
+	h := sha256.New()
+	for _, d := range ds {
+		h.Write(d[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

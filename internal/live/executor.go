@@ -1,0 +1,22 @@
+package live
+
+import (
+	"context"
+
+	"vcprof/internal/encoders"
+	"vcprof/internal/sched"
+)
+
+// poolExecutor adapts a sched.Pool to the encoders.Executor surface,
+// exactly as the harness does for cell evaluation: the GOP encode's
+// shards become pool tasks, and the work-stealing schedule cannot
+// change any byte of the result.
+type poolExecutor struct {
+	p *sched.Pool
+}
+
+func (e poolExecutor) Workers() int { return e.p.Workers() }
+
+func (e poolExecutor) RunGraph(ctx context.Context, g encoders.TaskGraph) error {
+	return e.p.RunGraph(ctx, g)
+}

@@ -1,0 +1,18 @@
+package live
+
+import "vcprof/internal/obs"
+
+// Session telemetry. All of these count modeled events, so for a fixed
+// workload they are schedule-independent and register as deterministic
+// counters. A resumed session re-registers only what it encodes itself,
+// so per-process values always reflect that process's work.
+var (
+	obsSessions = obs.NewCounter("live.sessions")
+	obsResumes  = obs.NewCounter("live.session_resumes")
+	obsFrames   = obs.NewCounter("live.frames_fed")
+	obsGOPs     = obs.NewCounter("live.gops")
+	obsDropped  = obs.NewCounter("live.dropped_frames")
+	obsMisses   = obs.NewCounter("live.deadline_misses")
+	obsDegrades = obs.NewCounter("live.degrade_steps")
+	obsShared   = obs.NewCounter("live.rung_gops_shared")
+)

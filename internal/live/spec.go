@@ -1,0 +1,191 @@
+package live
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"vcprof/internal/encoders"
+	"vcprof/internal/video"
+)
+
+// SessionSpec declares one live-encode session: a clip fed frame by
+// frame at a fixed rate, encoded GOP by GOP, optionally at several ABR
+// ladder rungs, with scripted mid-stream codec/preset switches. Like
+// service.JobSpec it is content-addressed: Key() hashes the canonical
+// form, and every digest the session produces depends only on the spec
+// (plus feed progress), never on where or when the session runs.
+type SessionSpec struct {
+	// Clip names a vbench catalog entry; Frames is the total number of
+	// frames the session feeds (0 = 4 GOPs); Div divides the resolution
+	// (0/1 = native).
+	Clip   string `json:"clip"`
+	Frames int    `json:"frames,omitempty"`
+	Div    int    `json:"div,omitempty"`
+
+	// Initial operating point.
+	Family string `json:"family"`
+	CRF    int    `json:"crf"`
+	Preset int    `json:"preset"`
+
+	// GOP is the keyframe cadence and splice/switch granularity in
+	// frames (default 8). FPS is the feed rate (0 = the clip's native
+	// rate). Deadline is the per-frame latency budget in frame
+	// intervals (default 2 GOPs): frame i must finish encoding within
+	// Deadline intervals of its arrival or it counts as a miss.
+	GOP      int `json:"gop,omitempty"`
+	FPS      int `json:"fps,omitempty"`
+	Deadline int `json:"deadline,omitempty"`
+
+	// Rungs lists additional ladder CRFs encoded alongside CRF (rung
+	// 0). Share reuses rung 0's open-loop motion/intra analysis for the
+	// other rungs via encoders.AnalysisCache.
+	Rungs []int `json:"rungs,omitempty"`
+	Share bool  `json:"share,omitempty"`
+
+	// Switches change the operating point mid-stream. Each applies at a
+	// GOP boundary — the splice points where every rung starts with a
+	// keyframe — so switched streams stay independently decodable.
+	Switches []Switch `json:"switches,omitempty"`
+}
+
+// Switch is a scripted mid-stream operating-point change: from GOP
+// AtGOP on, encode with the given family/CRF/preset (all fields
+// required — a switch names the complete new target).
+type Switch struct {
+	AtGOP  int    `json:"at_gop"`
+	Family string `json:"family"`
+	CRF    int    `json:"crf"`
+	Preset int    `json:"preset"`
+}
+
+// Normalize fills defaulted fields in place so equal sessions canonize
+// equally. FPS 0 stays 0 ("clip native"), resolved at session start.
+func (s *SessionSpec) Normalize() {
+	if s.Div == 0 {
+		s.Div = 1
+	}
+	if s.GOP == 0 {
+		s.GOP = 8
+	}
+	if s.Frames == 0 {
+		s.Frames = 4 * s.GOP
+	}
+	if s.Deadline == 0 {
+		s.Deadline = 2 * s.GOP
+	}
+}
+
+// Validate checks the normalized spec against the clip catalog and
+// every encoder family the session will pass through.
+func (s *SessionSpec) Validate() error {
+	if _, err := video.LookupClip(s.Clip); err != nil {
+		return err
+	}
+	if s.Frames < 1 || s.Frames > 4096 {
+		return fmt.Errorf("live: frame count %d out of range [1, 4096]", s.Frames)
+	}
+	if s.Div < 1 || s.Div > 16 {
+		return fmt.Errorf("live: resolution divisor %d out of range [1, 16]", s.Div)
+	}
+	if s.GOP < 2 || s.GOP > 64 {
+		return fmt.Errorf("live: GOP size %d out of range [2, 64]", s.GOP)
+	}
+	if s.FPS < 0 || s.FPS > 240 {
+		return fmt.Errorf("live: fps %d out of range [0, 240]", s.FPS)
+	}
+	if s.Deadline < 1 || s.Deadline > 1024 {
+		return fmt.Errorf("live: deadline %d out of range [1, 1024] frame intervals", s.Deadline)
+	}
+	if len(s.Rungs) > 7 {
+		return fmt.Errorf("live: %d extra ladder rungs, max 7", len(s.Rungs))
+	}
+	if err := validPoint(s.Family, s.CRF, s.Preset); err != nil {
+		return err
+	}
+	// Ladder CRFs must be distinct and valid for every family the
+	// session can switch through (rungs persist across switches).
+	families := []string{s.Family}
+	seen := map[int]bool{s.CRF: true}
+	for _, crf := range s.Rungs {
+		if seen[crf] {
+			return fmt.Errorf("live: duplicate ladder rung CRF %d", crf)
+		}
+		seen[crf] = true
+	}
+	prev := 0
+	for i, sw := range s.Switches {
+		if sw.AtGOP < 1 {
+			return fmt.Errorf("live: switch %d at GOP %d, must be >= 1", i, sw.AtGOP)
+		}
+		if sw.AtGOP <= prev {
+			return fmt.Errorf("live: switches out of order at GOP %d", sw.AtGOP)
+		}
+		prev = sw.AtGOP
+		if err := validPoint(sw.Family, sw.CRF, sw.Preset); err != nil {
+			return fmt.Errorf("live: switch %d: %w", i, err)
+		}
+		families = append(families, sw.Family)
+	}
+	for _, fam := range families {
+		enc, err := encoders.New(encoders.Family(fam))
+		if err != nil {
+			return err
+		}
+		lo, hi := enc.CRFRange()
+		for _, crf := range s.Rungs {
+			if crf < lo || crf > hi {
+				return fmt.Errorf("live: ladder rung CRF %d out of %s range [%d, %d]", crf, fam, lo, hi)
+			}
+		}
+	}
+	return nil
+}
+
+func validPoint(family string, crf, preset int) error {
+	enc, err := encoders.New(encoders.Family(family))
+	if err != nil {
+		return err
+	}
+	lo, hi := enc.CRFRange()
+	if crf < lo || crf > hi {
+		return fmt.Errorf("live: %s CRF %d out of range [%d, %d]", family, crf, lo, hi)
+	}
+	plo, phi, _ := enc.PresetRange()
+	if preset < plo || preset > phi {
+		return fmt.Errorf("live: %s preset %d out of range [%d, %d]", family, preset, plo, phi)
+	}
+	return nil
+}
+
+// Canonical renders the normalized spec as canonical JSON — the bytes
+// Key hashes.
+func (s *SessionSpec) Canonical() ([]byte, error) {
+	n := *s
+	n.Normalize()
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(n)
+}
+
+// Key returns the session's content address: the hex SHA-256 of the
+// canonical spec.
+func (s *SessionSpec) Key() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(c)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// rungCRFs returns the full ladder: rung 0 is the spec CRF (or the
+// active switch's), followed by the extra rungs.
+func rungCRFs(baseCRF int, extra []int) []int {
+	out := make([]int, 0, 1+len(extra))
+	out = append(out, baseCRF)
+	out = append(out, extra...)
+	return out
+}

@@ -1,0 +1,173 @@
+package live
+
+import (
+	"context"
+	"fmt"
+
+	"vcprof/internal/encoders"
+	"vcprof/internal/perf"
+	"vcprof/internal/uarch/topdown"
+	"vcprof/internal/video"
+)
+
+// The live-vs-VOD characterization study (EXPERIMENTS.md §live). A VOD
+// encode runs the whole clip at one operating point; a live session
+// under deadline pressure walks a *schedule* of operating points as the
+// degrade policy sheds preset effort, and adds the open-loop lookahead
+// the VOD path never runs. The study asks whether that changes what the
+// microarchitecture sees: it replays a session to recover the effective
+// per-GOP schedule, measures each distinct operating point with full
+// instrumentation (perf.Stat), frame-weights the top-down breakdowns,
+// and sets the result against the VOD encode of the same clip at the
+// nominal point.
+
+// StudyPoint is one distinct operating point a session passed through.
+type StudyPoint struct {
+	Family string
+	Preset int
+	CRF    int
+	Frames int // frames the session encoded at this point (the weight)
+	C      *perf.Counters
+}
+
+// StudyReport is the paired live/VOD characterization.
+type StudyReport struct {
+	Spec SessionSpec
+
+	Live    []StudyPoint      // distinct live operating points, first-seen order
+	LiveTD  topdown.Breakdown // frame-weighted across points
+	LiveIPC float64
+	Misses  int
+	Dropped int
+	Degrade int // total degrade steps taken
+
+	VOD *perf.Counters // whole clip at the nominal point, GOP keyframe cadence
+}
+
+// Study replays the session spec (unpooled — the schedule only depends
+// on modeled arithmetic), recovers the operating-point schedule, and
+// measures live vs VOD. Deterministic: same spec, same report.
+func Study(ctx context.Context, spec SessionSpec) (*StudyReport, error) {
+	s, err := New(spec, Config{})
+	if err != nil {
+		return nil, err
+	}
+	spec = s.Spec() // normalized
+	gops, err := s.Feed(ctx, spec.Frames, true)
+	if err != nil {
+		return nil, err
+	}
+	st := s.Stats()
+	rep := &StudyReport{Spec: spec, Misses: st.Misses, Dropped: st.Dropped, Degrade: st.DegradeTotal}
+
+	meta, err := video.LookupClip(spec.Clip)
+	if err != nil {
+		return nil, err
+	}
+	clip, err := video.Generate(meta, video.GenerateOptions{Frames: spec.Frames, ScaleDiv: spec.Div})
+	if err != nil {
+		return nil, err
+	}
+
+	// Group the schedule into distinct operating points; remember each
+	// point's first contiguous GOP run as its measurement segment.
+	type seg struct{ start, end int }
+	idx := map[string]int{}
+	segs := map[string]seg{}
+	for _, g := range gops {
+		if g.Dropped {
+			continue
+		}
+		k := fmt.Sprintf("%s/p%d/crf%d", g.Family, g.Preset, g.CRF)
+		if i, ok := idx[k]; ok {
+			rep.Live[i].Frames += g.Frames
+			if sg := segs[k]; sg.end == g.Start {
+				sg.end = g.Start + g.Frames
+				segs[k] = sg
+			}
+			continue
+		}
+		idx[k] = len(rep.Live)
+		rep.Live = append(rep.Live, StudyPoint{Family: g.Family, Preset: g.Preset, CRF: g.CRF, Frames: g.Frames})
+		segs[k] = seg{start: g.Start, end: g.Start + g.Frames}
+	}
+
+	// Measure each point over its segment with the live option set
+	// (open-loop lookahead on, keyframe every GOP), then frame-weight.
+	// Windows are capped at one GOP: the model is deterministic, so a
+	// GOP-sized window measures a point exactly, and full segments at
+	// slow presets would make the study needlessly expensive — the
+	// frame-weighting below scales each window to the frames the
+	// session actually encoded at the point.
+	var wSum, cycW, instW float64
+	var td topdown.Breakdown
+	for i := range rep.Live {
+		p := &rep.Live[i]
+		k := fmt.Sprintf("%s/p%d/crf%d", p.Family, p.Preset, p.CRF)
+		sg := segs[k]
+		if sg.end > sg.start+spec.GOP {
+			sg.end = sg.start + spec.GOP
+		}
+		sub := &video.Clip{Meta: clip.Meta, Frames: clip.Frames[sg.start:sg.end]}
+		enc, err := encoders.New(encoders.Family(p.Family))
+		if err != nil {
+			return nil, err
+		}
+		c, err := perf.Stat(ctx, enc, sub, encoders.Options{
+			CRF: p.CRF, Preset: p.Preset,
+			KeyInterval: spec.GOP, AnalyzeIntra: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.C = c
+		// Scale the segment measurement to the frames encoded at the
+		// point; weight the breakdown by scaled cycles.
+		scale := float64(p.Frames) / float64(sg.end-sg.start)
+		w := float64(c.Cycles) * scale
+		wSum += w
+		cycW += float64(c.Cycles) * scale
+		instW += float64(c.Instructions) * scale
+		td.Retiring += w * c.TopDown.Retiring
+		td.BadSpec += w * c.TopDown.BadSpec
+		td.Frontend += w * c.TopDown.Frontend
+		td.Backend += w * c.TopDown.Backend
+		td.MemoryBound += w * c.TopDown.MemoryBound
+		td.CoreBound += w * c.TopDown.CoreBound
+		td.FrontendLatency += w * c.TopDown.FrontendLatency
+		td.FrontendBandwidth += w * c.TopDown.FrontendBandwidth
+	}
+	if wSum > 0 {
+		td.Retiring /= wSum
+		td.BadSpec /= wSum
+		td.Frontend /= wSum
+		td.Backend /= wSum
+		td.MemoryBound /= wSum
+		td.CoreBound /= wSum
+		td.FrontendLatency /= wSum
+		td.FrontendBandwidth /= wSum
+		rep.LiveTD = td
+	}
+	if cycW > 0 {
+		rep.LiveIPC = instW / cycW
+	}
+
+	// VOD baseline: the nominal point at the same keyframe cadence, no
+	// lookahead pass, measured over the same GOP-sized window as the
+	// live points so the comparison is like for like.
+	vclip := clip
+	if len(clip.Frames) > spec.GOP {
+		vclip = &video.Clip{Meta: clip.Meta, Frames: clip.Frames[:spec.GOP]}
+	}
+	enc, err := encoders.New(encoders.Family(spec.Family))
+	if err != nil {
+		return nil, err
+	}
+	rep.VOD, err = perf.Stat(ctx, enc, vclip, encoders.Options{
+		CRF: spec.CRF, Preset: spec.Preset, KeyInterval: spec.GOP,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

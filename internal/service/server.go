@@ -97,13 +97,14 @@ func (c *Config) fill() {
 // transport (real listener in cmd/vcprofd, httptest in the lifecycle
 // tests) stays outside.
 type Server struct {
-	cfg   Config
-	store *Store
-	q     *queue
-	jobs  *jobTable
-	board *traceBoard
-	tele  *teleBoard
-	pool  *sched.Pool // shared shard scheduler; nil when sharding is disabled
+	cfg      Config
+	store    *Store
+	q        *queue
+	jobs     *jobTable
+	board    *traceBoard
+	tele     *teleBoard
+	sessions *sessionTable
+	pool     *sched.Pool // shared shard scheduler; nil when sharding is disabled
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -138,6 +139,7 @@ func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 		q:           newQueue(cfg.QueueCap, cfg.Admission == "sjf"),
 		jobs:        newJobTable(),
 		board:       newTraceBoard(cfg.Obs, cfg.Workers, cfg.ShardWorkers),
+		sessions:    newSessionTable(),
 		samplerStop: make(chan struct{}),
 	}
 	if !cfg.DisableSharding {
@@ -201,9 +203,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.stopSampler()
 	s.q.close()
+	// Live sessions stop admitting feeds now; ones already accepted
+	// finish their in-flight GOPs before the pool closes.
+	s.sessions.close()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.sessions.wait()
 		close(done)
 	}()
 	var err error
@@ -241,6 +247,10 @@ func (s *Server) SchedStats() (sched.Stats, bool) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("POST /v1/sessions/{id}/frames", s.handleSessionFeed)
+	mux.HandleFunc("GET /v1/sessions/{id}/stats", s.handleSessionStats)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
 	mux.HandleFunc("HEAD /v1/results/{id}", s.handleResultHead)

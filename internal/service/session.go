@@ -1,0 +1,303 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"vcprof/internal/live"
+	"vcprof/internal/obs"
+)
+
+// maxSessions bounds concurrently open live sessions per daemon; a
+// session frees its slot at end-of-stream or DELETE.
+const maxSessions = 64
+
+// sessionEntry is one open live session. The entry mutex serializes
+// feeds (and the per-session trace lane, which obs requires to be
+// single-goroutine); the engine has its own lock, but the entry-level
+// one keeps wire responses — which pair engine results with stats and
+// resume tokens — atomic per feed.
+type sessionEntry struct {
+	id   string
+	mu   sync.Mutex
+	s    *live.Session
+	sess *obs.Session // per-session span lane; nil when tracing is off
+	lane *obs.Trace
+}
+
+// sessionTable owns the open sessions and the drain gate: once closed,
+// new sessions and new feeds are refused, and wait blocks until every
+// in-flight feed — meaning every in-flight GOP encode — has finished.
+// That is the graceful-drain contract: frames already fed encode to
+// completion, nothing is cut mid-GOP.
+type sessionTable struct {
+	mu     sync.Mutex
+	seq    uint64
+	m      map[string]*sessionEntry
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newSessionTable() *sessionTable {
+	return &sessionTable{m: make(map[string]*sessionEntry)}
+}
+
+// add registers a new session under a fresh id. The id is a routing
+// handle (spec-key prefix + per-daemon sequence), deliberately opaque:
+// it appears in no digest, so resuming a session elsewhere under a new
+// id changes nothing the client folds.
+func (t *sessionTable) add(key string, s *live.Session, traced bool) (*sessionEntry, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("draining")
+	}
+	if len(t.m) >= maxSessions {
+		return nil, fmt.Errorf("session table full (%d open)", maxSessions)
+	}
+	t.seq++
+	id := fmt.Sprintf("%.16s-%04x", key, t.seq)
+	var sess *obs.Session
+	var lane *obs.Trace
+	if traced {
+		sess = obs.NewSession()
+		lane = sess.Lane("session-" + id)
+	}
+	e := &sessionEntry{id: id, s: s, sess: sess, lane: lane}
+	t.m[id] = e
+	return e, nil
+}
+
+func (t *sessionTable) get(id string) (*sessionEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.m[id]
+	return e, ok
+}
+
+// beginFeed pins an in-flight feed against drain; endFeed releases it.
+func (t *sessionTable) beginFeed(id string) (*sessionEntry, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("draining")
+	}
+	e, ok := t.m[id]
+	if !ok {
+		return nil, nil
+	}
+	t.wg.Add(1)
+	return e, nil
+}
+
+func (t *sessionTable) endFeed() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.wg.Done()
+}
+
+func (t *sessionTable) remove(id string) (*sessionEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.m[id]
+	if ok {
+		delete(t.m, id)
+	}
+	return e, ok
+}
+
+// close refuses further sessions and feeds; wait blocks until every
+// in-flight feed has finished, so every GOP whose frames were accepted
+// is fully encoded before shutdown proceeds.
+func (t *sessionTable) close() {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+}
+
+// wait takes the WaitGroup's address under the lock, then blocks
+// outside it so in-flight feeds can release their pins.
+func (t *sessionTable) wait() {
+	t.mu.Lock()
+	wg := &t.wg
+	t.mu.Unlock()
+	wg.Wait()
+}
+
+// Wire forms.
+
+type sessionCreateReq struct {
+	Spec   live.SessionSpec  `json:"spec"`
+	Resume *live.ResumeToken `json:"resume,omitempty"`
+}
+
+type sessionCreateResp struct {
+	ID      string           `json:"id"`
+	Key     string           `json:"key"`
+	Resumed bool             `json:"resumed,omitempty"`
+	Spec    live.SessionSpec `json:"spec"`
+}
+
+// sessionFeedReq advances the arrival watermark. Fed is the absolute
+// total of frames that have arrived — not a delta — so a replayed or
+// reordered request can never double-feed a session: feeding to a
+// watermark the session already passed is a no-op.
+type sessionFeedReq struct {
+	Fed int  `json:"fed"`
+	EOS bool `json:"eos,omitempty"`
+}
+
+type sessionFeedResp struct {
+	ID     string           `json:"id"`
+	GOPs   []live.GOPResult `json:"gops"`
+	Stats  live.Stats       `json:"stats"`
+	Resume live.ResumeToken `json:"resume"`
+}
+
+type sessionStatsResp struct {
+	ID    string           `json:"id"`
+	Spec  live.SessionSpec `json:"spec"`
+	Stats live.Stats       `json:"stats"`
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		obsJobsRefused.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req sessionCreateReq
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad session spec: %v", err)
+		return
+	}
+	key, err := req.Spec.Key()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg := live.Config{Pool: s.pool}
+	var sess *live.Session
+	if req.Resume != nil {
+		sess, err = live.Resume(req.Spec, cfg, *req.Resume)
+	} else {
+		sess, err = live.New(req.Spec, cfg)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := s.sessions.add(key, sess, s.cfg.Obs != nil)
+	if err != nil {
+		obsJobsRefused.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	obsSessionsOpened.Add(1)
+	e.mu.Lock()
+	id := e.id
+	e.mu.Unlock()
+	writeJSON(w, http.StatusCreated, sessionCreateResp{
+		ID: id, Key: key, Resumed: req.Resume != nil, Spec: sess.Spec(),
+	})
+}
+
+func (s *Server) handleSessionFeed(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req sessionFeedReq
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad feed request: %v", err)
+		return
+	}
+	e, err := s.sessions.beginFeed(id)
+	if err != nil {
+		obsJobsRefused.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if e == nil {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	defer s.sessions.endFeed()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delta := req.Fed - e.s.Stats().Fed
+	if delta < 0 {
+		delta = 0 // replayed watermark: arrivals never rewind
+	}
+	// Encodes run under the server's base context: a graceful drain lets
+	// them finish (beginFeed pinned us), a hard shutdown cancels them at
+	// the next task boundary.
+	gops, err := e.s.Feed(s.baseCtx, delta, req.EOS)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	for i := range gops {
+		gops[i].Bitstreams = nil
+		obsSessionGOPs.Add(1)
+		if e.lane != nil {
+			sp := e.lane.BeginArg(obsSessionGOPName, fmt.Sprintf("gop-%d", gops[i].Index))
+			e.lane.Advance(1 + gops[i].Insts)
+			sp.End()
+		}
+	}
+	st := e.s.Stats()
+	resp := sessionFeedResp{ID: id, GOPs: gops, Stats: st, Resume: e.s.ResumeToken()}
+	if st.Done {
+		if _, ok := s.sessions.remove(id); ok && e.sess != nil {
+			// The session is over; its lane is immutable from here on and
+			// joins the daemon profile like a finished job's.
+			s.board.adopt(e.sess)
+		}
+		obsSessionsClosed.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.sessions.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	writeJSON(w, http.StatusOK, sessionStatsResp{ID: id, Spec: e.s.Spec(), Stats: e.s.Stats()})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.sessions.remove(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sess != nil {
+		s.board.adopt(e.sess)
+	}
+	obsSessionsClosed.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+var obsSessionGOPName = obs.Name("session/gop")
+
+// Live-session service counters. Opened/closed and GOP counts follow
+// the request mix (deterministic for a fixed drive); the refused path
+// reuses svc.jobs.refused like every other 503.
+var (
+	obsSessionsOpened = obs.NewCounter("svc.sessions.opened")
+	obsSessionsClosed = obs.NewCounter("svc.sessions.closed")
+	obsSessionGOPs    = obs.NewCounter("svc.sessions.gops")
+)

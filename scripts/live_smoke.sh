@@ -1,0 +1,164 @@
+#!/bin/sh
+# live_smoke.sh — end-to-end smoke of the live-encode session engine
+# against its headline claims: streaming is a latency mode, never a
+# results mode, and ABR ladder sharing is a cost lever, never a
+# content lever.
+#
+# Runs the same seeded session mix three ways and requires one digest:
+#   pass 0 (baseline): vclive drives the engine in-process — the
+#     reference digest, with zero deadline misses at the calibrated
+#     feed rate;
+#   pass 1 (daemon): the mix over a single vcprofd's session endpoints
+#     — transport must not touch a byte;
+#   pass 2 (routed + chaos): the mix through vcgate over three shards,
+#     with one shard SIGKILLed mid-run — sticky sessions must fail
+#     over from their GOP-boundary resume tokens with no client-visible
+#     divergence.
+# Then the ABR ladder comparison must report >= LADDER_MIN% instruction
+# saving with byte-identical output, the daemon and gate must drain
+# cleanly on SIGTERM, and the baseline pass's benchmarks are emitted as
+# ${BENCH_OUT}.json.
+#
+# Tunables (env): SMOKE_SESSIONS (default 6), SMOKE_CONC (default 3),
+# SMOKE_KILL_AFTER seconds (default 3), LADDER_MIN percent (default 20).
+set -eu
+
+SESSIONS="${SMOKE_SESSIONS:-6}"
+CONC="${SMOKE_CONC:-3}"
+KILL_AFTER="${SMOKE_KILL_AFTER:-3}"
+LADDER_MIN="${LADDER_MIN:-20}"
+GO="${GO:-go}"
+
+workdir="$(mktemp -d)"
+pids=""
+trap 'for p in $pids; do kill -9 "$p" 2>/dev/null || true; done; rm -rf "$workdir"' EXIT
+
+echo "live-smoke: building vcprofd, vcgate and vclive"
+"$GO" build -o "$workdir/vcprofd" ./cmd/vcprofd
+"$GO" build -o "$workdir/vcgate" ./cmd/vcgate
+"$GO" build -o "$workdir/vclive" ./cmd/vclive
+
+# wait_addr <log>: echoes the "listening on" address once a daemon
+# reports it, or fails the smoke.
+wait_addr() {
+    for _ in $(seq 1 100); do
+        a="$(sed -n 's/^listening on //p' "$1" | head -n1)"
+        [ -n "$a" ] && { echo "$a"; return 0; }
+        sleep 0.05
+    done
+    echo "live-smoke: daemon never reported its address ($1)" >&2
+    cat "$1" >&2
+    exit 1
+}
+
+# stop_pid <pid> <what>: SIGTERM and require a clean drain.
+stop_pid() {
+    kill -TERM "$1" 2>/dev/null || true
+    for _ in $(seq 1 200); do
+        kill -0 "$1" 2>/dev/null || return 0
+        sleep 0.05
+    done
+    echo "live-smoke: $2 did not drain on SIGTERM" >&2
+    exit 1
+}
+
+run_live() { # run_live <logname> [vclive flags...]
+    log="$workdir/$1.log"
+    shift
+    "$workdir/vclive" -n "$SESSIONS" -c "$CONC" -seed 11 "$@" | tee "$log"
+    if ! grep -q "^vclive: $SESSIONS sessions ok" "$log"; then
+        echo "live-smoke: FAIL — pass did not report all sessions ok" >&2
+        exit 1
+    fi
+}
+
+digest_of() { sed -n 's/^digest //p' "$workdir/$1.log"; }
+
+echo "live-smoke: pass 0 — in-process baseline ($SESSIONS sessions, c=$CONC)"
+run_live baseline -bench
+d_base="$(digest_of baseline)"
+misses="$(sed -n 's/.*deadline-misses \([0-9]*\).*/\1/p' "$workdir/baseline.log")"
+if [ -z "$d_base" ]; then
+    echo "live-smoke: FAIL — baseline printed no digest" >&2
+    exit 1
+fi
+if [ "$misses" != "0" ]; then
+    echo "live-smoke: FAIL — $misses deadline misses at the calibrated feed rate, want 0" >&2
+    exit 1
+fi
+
+echo "live-smoke: pass 1 — same mix over a single vcprofd"
+"$workdir/vcprofd" -addr 127.0.0.1:0 -store "$workdir/store-solo" -j 2 \
+    >"$workdir/solo.log" 2>&1 &
+solo_pid=$!
+pids="$pids $solo_pid"
+run_live daemon -addr "$(wait_addr "$workdir/solo.log")"
+stop_pid "$solo_pid" "daemon"
+
+echo "live-smoke: pass 2 — 3 shards + vcgate, SIGKILL one shard after ${KILL_AFTER}s"
+shard_spec=""
+shard_pids=""
+for i in 0 1 2; do
+    "$workdir/vcprofd" -addr 127.0.0.1:0 -store "$workdir/store-s$i" \
+        -j 2 -name "s$i" >"$workdir/s$i.log" 2>&1 &
+    pid=$!
+    pids="$pids $pid"
+    shard_pids="$shard_pids $pid"
+    shard_spec="$shard_spec${shard_spec:+,}s$i=http://$(wait_addr "$workdir/s$i.log")"
+done
+s1_pid="$(echo $shard_pids | cut -d' ' -f2)"
+
+"$workdir/vcgate" -addr 127.0.0.1:0 -shards "$shard_spec" \
+    >"$workdir/gate.log" 2>&1 &
+gate_pid=$!
+pids="$pids $gate_pid"
+
+run_live routed -addr "$(wait_addr "$workdir/gate.log")" &
+load_pid=$!
+sleep "$KILL_AFTER"
+kill -9 "$s1_pid" 2>/dev/null || true
+if ! wait "$load_pid"; then
+    echo "live-smoke: FAIL — routed pass failed" >&2
+    exit 1
+fi
+stop_pid "$gate_pid" "gate"
+for pid in $shard_pids; do
+    [ "$pid" = "$s1_pid" ] && continue # SIGKILLed mid-run by design
+    stop_pid "$pid" "shard"
+done
+
+# Determinism across the serving boundary: identical digests for the
+# in-process engine, the daemon, and the chaotic routed run.
+for p in daemon routed; do
+    d="$(digest_of $p)"
+    if [ "$d" != "$d_base" ]; then
+        echo "live-smoke: FAIL — '$p' digest $d != baseline $d_base" >&2
+        exit 1
+    fi
+done
+
+echo "live-smoke: ABR ladder comparison (share on vs off)"
+"$workdir/vclive" -ladder-compare -bench | tee "$workdir/ladder.log"
+saving="$(sed -n 's/.*saving=\([0-9.]*\)%.*/\1/p' "$workdir/ladder.log")"
+if [ -z "$saving" ]; then
+    echo "live-smoke: FAIL — no saving line in ladder-compare output" >&2
+    exit 1
+fi
+if ! awk -v s="$saving" -v m="$LADDER_MIN" 'BEGIN { exit !(s >= m) }'; then
+    echo "live-smoke: FAIL — ladder-share saving ${saving}% below ${LADDER_MIN}%" >&2
+    exit 1
+fi
+if ! grep -q 'bytes-equal=true digest-equal=true' "$workdir/ladder.log"; then
+    echo "live-smoke: FAIL — ladder sharing changed output bytes" >&2
+    exit 1
+fi
+
+# Publish the baseline serving and ladder benchmarks as one benchjson
+# artifact.
+{
+    sed -n 's/^Benchmark/Benchmark/p' "$workdir/baseline.log"
+    sed -n 's/^Benchmark/Benchmark/p' "$workdir/ladder.log"
+} >"$workdir/bench.txt"
+"$GO" run ./cmd/benchjson -o "${BENCH_OUT:-BENCH_pr9}.json" "$workdir/bench.txt"
+
+echo "live-smoke: OK — $SESSIONS sessions x3, identical digest $d_base, 0 deadline misses, ladder saving ${saving}%, shard kill survived"
