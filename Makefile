@@ -13,7 +13,7 @@ FUZZTIME ?= 10s
 # (`make bench BENCH_OUT=BENCH_prN`) when cutting a new trajectory.
 # Smoke targets that compare against a specific PR's numbers pin their
 # own BENCH_OUT below, so bumping this default cannot repoint them.
-BENCH_OUT ?= BENCH_pr9
+BENCH_OUT ?= BENCH_pr10
 
 # Every stdlib vet pass, spelled out (from `go tool vet help`) so a
 # toolchain that grows a new pass fails loudly here instead of silently
@@ -25,9 +25,9 @@ VET_PASSES = -appends -asmdecl -assign -atomic -bools -buildtag \
 	-stringintconv -structtag -testinggoroutine -tests -timeformat \
 	-unmarshal -unreachable -unsafeptr -unusedresult
 
-.PHONY: ci fmt vet build lint lint-fixtures test race golden bench bench-short fuzz-smoke serve-smoke telemetry-smoke sched-smoke cluster-smoke live-smoke
+.PHONY: ci fmt vet build lint lint-fixtures test race golden bench bench-short fuzz-smoke serve-smoke telemetry-smoke sched-smoke cluster-smoke live-smoke trace-smoke
 
-ci: fmt vet build lint lint-fixtures test fuzz-smoke bench-short serve-smoke telemetry-smoke sched-smoke cluster-smoke live-smoke race
+ci: fmt vet build lint lint-fixtures test fuzz-smoke bench-short serve-smoke telemetry-smoke sched-smoke cluster-smoke live-smoke trace-smoke race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -126,6 +126,15 @@ cluster-smoke:
 # scripts/live_smoke.sh.
 live-smoke:
 	BENCH_OUT=BENCH_pr9 GO="$(GO)" sh scripts/live_smoke.sh
+
+# End-to-end smoke of the tracing and federation surfaces: vcgate over
+# 3 shards (R=2) with a live session whose pinned shard is SIGKILLed
+# mid-stream must serve a merged deterministic trace byte-identical to
+# a bare daemon's, record the failover re-anchor in the full view,
+# federate /v1/cluster/metrics byte-stably, and pass `vcperf slo
+# -assert` with zero burn. See scripts/trace_smoke.sh.
+trace-smoke:
+	BENCH_OUT=BENCH_pr10 GO="$(GO)" sh scripts/trace_smoke.sh
 
 # Ten-second smoke of each fuzz target over its committed seed corpus.
 # Finding a crasher here fails CI; reproduce with the file Go writes

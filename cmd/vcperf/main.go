@@ -9,6 +9,12 @@
 //	vcperf top -job <id>              # stream one job's top-down while it runs
 //	vcperf series -window 32          # recent gauge samples from the ring buffer
 //	vcperf flame -o out.folded        # folded stacks (pipe to flamegraph.pl)
+//	vcperf trace j-0123abcd -o t.json # merged cluster Chrome trace for one job
+//	vcperf slo -assert                # live SLO burn rates; exit 1 over budget
+//
+// trace and slo speak to a gate (vcgate) or a single daemon alike —
+// both serve /v1/cluster/trace/{id} and /v1/slo; the daemon's answer
+// is the one-shard degenerate case.
 //
 // Exit codes: 0 ok, 1 assertion failed (-assert), 2 usage, 3 the
 // daemon could not be reached or answered malformed data.
@@ -46,6 +52,10 @@ func run(args []string) int {
 		return cmdSeries(args[1:])
 	case "flame":
 		return cmdFlame(args[1:])
+	case "trace":
+		return cmdTrace(args[1:])
+	case "slo":
+		return cmdSlo(args[1:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return 0
@@ -56,10 +66,12 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: vcperf <top|series|flame> [flags]
+	fmt.Fprint(os.Stderr, `usage: vcperf <top|series|flame|trace|slo> [flags]
   top     live top-down fractions, MPKIs and latency histograms
   series  dump the daemon's ring-buffer gauge time series
   flame   fetch the folded-stack profile (flamegraph.pl input)
+  trace   fetch one merged cluster Chrome trace by id (j-…/s-…)
+  slo     live SLO burn rates; -assert gates on budgets
 `)
 }
 
@@ -167,11 +179,11 @@ func snapshotTop(base, jobID string) (*topSnapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	scalars, hists, err := parseProm(string(metBody))
+	parsed, err := telemetry.ParseProm(string(metBody))
 	if err != nil {
 		return nil, err
 	}
-	return &topSnapshot{td: td, scalars: scalars, hists: hists}, nil
+	return &topSnapshot{td: td, scalars: parsed.Scalars, hists: parsed.Hists}, nil
 }
 
 func (s *topSnapshot) render() string {
@@ -254,111 +266,6 @@ func (s *topSnapshot) check() []string {
 		msgs = append(msgs, "no job latency observations")
 	}
 	return msgs
-}
-
-// parseProm reads the subset of the text exposition format the daemon
-// emits: unlabeled counter/gauge samples and conventional histogram
-// series. Histograms come back as obs.HistogramValue (per-bucket
-// counts, not cumulative) so quantile logic is shared with the server.
-func parseProm(text string) (map[string]float64, map[string]obs.HistogramValue, error) {
-	scalars := make(map[string]float64)
-	type hist struct {
-		bounds []uint64
-		cum    []uint64
-		inf    uint64
-		sum    uint64
-	}
-	hists := make(map[string]*hist)
-	for _, line := range strings.Split(text, "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		name, rest, ok := strings.Cut(line, " ")
-		if !ok {
-			return nil, nil, fmt.Errorf("exposition line %q: no value", line)
-		}
-		if base, le, isBucket := cutBucket(name); isBucket {
-			h, tracked := hists[base]
-			if !tracked {
-				h = &hist{}
-				hists[base] = h
-			}
-			v, err := strconv.ParseUint(rest, 10, 64)
-			if err != nil {
-				return nil, nil, fmt.Errorf("bucket %q: %w", line, err)
-			}
-			if le == "+Inf" {
-				h.inf = v
-			} else {
-				bound, err := strconv.ParseUint(le, 10, 64)
-				if err != nil {
-					return nil, nil, fmt.Errorf("bucket bound %q: %w", le, err)
-				}
-				h.bounds = append(h.bounds, bound)
-				h.cum = append(h.cum, v)
-			}
-			continue
-		}
-		if base, okSum := strings.CutSuffix(name, "_sum"); okSum {
-			if h, tracked := hists[base]; tracked {
-				v, err := strconv.ParseUint(rest, 10, 64)
-				if err != nil {
-					return nil, nil, fmt.Errorf("sum %q: %w", line, err)
-				}
-				h.sum = v
-				continue
-			}
-		}
-		if base, okCount := strings.CutSuffix(name, "_count"); okCount {
-			if _, tracked := hists[base]; tracked {
-				continue // redundant with the +Inf bucket
-			}
-		}
-		v, err := strconv.ParseFloat(rest, 64)
-		if err != nil {
-			return nil, nil, fmt.Errorf("sample %q: %w", line, err)
-		}
-		scalars[name] = v
-	}
-	out := make(map[string]obs.HistogramValue, len(hists))
-	for name, h := range hists {
-		counts := make([]uint64, len(h.bounds)+1)
-		var prev uint64
-		for i, c := range h.cum {
-			if c < prev {
-				return nil, nil, fmt.Errorf("histogram %s: non-monotone cumulative buckets", name)
-			}
-			counts[i] = c - prev
-			prev = c
-		}
-		if h.inf < prev {
-			return nil, nil, fmt.Errorf("histogram %s: +Inf below last bucket", name)
-		}
-		counts[len(h.bounds)] = h.inf - prev
-		out[name] = obs.HistogramValue{
-			Name:   name,
-			Bounds: h.bounds,
-			Counts: counts,
-			Sum:    h.sum,
-			Count:  h.inf,
-		}
-	}
-	return scalars, out, nil
-}
-
-// cutBucket splits `name_bucket{le="X"}` into (name, X, true).
-func cutBucket(sample string) (base, le string, ok bool) {
-	i := strings.Index(sample, "_bucket{le=\"")
-	if i < 0 {
-		return "", "", false
-	}
-	rest := sample[i+len("_bucket{le=\""):]
-	j := strings.Index(rest, "\"}")
-	if j < 0 {
-		return "", "", false
-	}
-	return sample[:i], rest[:j], true
 }
 
 // ---- series ----
@@ -444,5 +351,75 @@ func cmdFlame(args []string) int {
 		return 3
 	}
 	fmt.Fprintf(os.Stderr, "folded stacks → %s (feed to flamegraph.pl)\n", *out)
+	return 0
+}
+
+// ---- trace ----
+
+func cmdTrace(args []string) int {
+	fs := flag.NewFlagSet("vcperf trace", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8791", "vcgate or vcprofd address (host:port)")
+	det := fs.Bool("det", false, "deterministic view only (?volatile=0): byte-stable across topologies")
+	out := fs.String("o", "", "write the Chrome trace to this file (default stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "vcperf trace: exactly one trace id required (j-… for jobs, s-… for sessions)")
+		return 2
+	}
+	id := fs.Arg(0)
+	path := "/v1/cluster/trace/" + id
+	if *det {
+		path += "?volatile=0"
+	}
+	body, err := fetch(baseURL(*addr), path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcperf:", err)
+		return 3
+	}
+	if *out == "" {
+		os.Stdout.Write(body)
+		return 0
+	}
+	if err := os.WriteFile(*out, body, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "vcperf:", err)
+		return 3
+	}
+	fmt.Fprintf(os.Stderr, "merged trace %s → %s (open in a Chrome trace viewer)\n", id, *out)
+	return 0
+}
+
+// ---- slo ----
+
+func cmdSlo(args []string) int {
+	fs := flag.NewFlagSet("vcperf slo", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8791", "vcgate or vcprofd address (host:port)")
+	assert := fs.Bool("assert", false, "exit 1 when a burn rate exceeds its budget")
+	maxMiss := fs.Uint64("max-miss-ppm", 0, "deadline-miss burn budget, misses per million frames")
+	maxDegrade := fs.Uint64("max-degrade-ppm", 0, "degrade-step burn budget, steps per million GOPs")
+	fs.Parse(args)
+
+	body, err := fetch(baseURL(*addr), "/v1/slo")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcperf:", err)
+		return 3
+	}
+	var rep telemetry.SLOReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		fmt.Fprintln(os.Stderr, "vcperf: SLO JSON:", err)
+		return 3
+	}
+	fmt.Printf("sessions %d (resumed %d)  frames %d  gops %d  dropped %d\n",
+		rep.Sessions, rep.Resumes, rep.Frames, rep.GOPs, rep.Dropped)
+	fmt.Printf("deadline misses %d  burn %d ppm (budget %d)\n", rep.Misses, rep.MissBurnPPM, *maxMiss)
+	fmt.Printf("degrade steps   %d  burn %d ppm (budget %d)\n", rep.Degrades, rep.DegradeBurnPPM, *maxDegrade)
+	if *assert {
+		if msgs := rep.Check(*maxMiss, *maxDegrade); len(msgs) > 0 {
+			for _, m := range msgs {
+				fmt.Fprintln(os.Stderr, "vcperf: SLO ASSERT FAILED:", m)
+			}
+			return 1
+		}
+		fmt.Println("slo ok")
+	}
 	return 0
 }

@@ -81,6 +81,7 @@ func VCProfAnalyzers() []*Analyzer {
 				"vcprof/internal/harness.RunExperiment",
 				"vcprof/internal/cluster.FoldDigest",
 				"vcprof/internal/live.SessionDigest",
+				"vcprof/internal/obs.MergeHops",
 			},
 			Methods: []string{
 				"vcprof/internal/encoders.model.Encode",

@@ -71,6 +71,12 @@ type Config struct {
 	MaxInflight        int
 	ResultCacheEntries int
 
+	// HopTraces bounds the gate's distributed-trace hop log (default
+	// 512 traces; oldest evicted first). Tracing itself is always on —
+	// hops are cheap fixed-size records, and the cluster-trace endpoint
+	// is how cross-shard behavior is debugged.
+	HopTraces int
+
 	// Client is the shard-side HTTP transport (default: a dedicated
 	// client with no overall timeout — per-drive contexts bound every
 	// request). Tests inject fault-wrapped transports here.
@@ -119,5 +125,8 @@ func (c *Config) fill() {
 	}
 	if c.ResultCacheEntries < 1 {
 		c.ResultCacheEntries = 512
+	}
+	if c.HopTraces < 1 {
+		c.HopTraces = 512
 	}
 }

@@ -80,6 +80,10 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/results/{id}", r.handleResult)
 	mux.HandleFunc("GET /v1/cluster/stats", r.handleStats)
 	mux.HandleFunc("GET /v1/cluster/shards", r.handleShards)
+	mux.HandleFunc("GET /v1/trace/{id}", r.handleTraceSlice)
+	mux.HandleFunc("GET /v1/cluster/trace/{id}", r.handleClusterTrace)
+	mux.HandleFunc("GET /v1/cluster/metrics", r.handleClusterMetrics)
+	mux.HandleFunc("GET /v1/slo", r.handleSLO)
 	mux.HandleFunc("GET /metrics", r.handleMetrics)
 	mux.HandleFunc("GET /healthz", r.handleHealth)
 	return mux

@@ -10,9 +10,11 @@ import (
 // Per-shard served-latency histograms, on the shared latency bucket
 // layout so gate quantiles line up with vcprofd's svc.job.latency_ms
 // and vcload's client-side distribution. Volatile: they measure wall
-// time. Histograms are find-or-created because the obs registry is
-// process-global while tests build many routers over recurring shard
-// names.
+// time. Names follow the cluster-wide convention documented in
+// internal/telemetry/naming.go (gate.<group>.<metric>, like the
+// gate.* gauges in handleMetrics). Histograms are find-or-created
+// because the obs registry is process-global while tests build many
+// routers over recurring shard names.
 var histMu sync.Mutex
 
 func shardHist(name string) *obs.Histogram {

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vcprof/internal/obs"
 	"vcprof/internal/service"
 )
 
@@ -34,6 +35,7 @@ type Router struct {
 	reg      *registry
 	client   HTTPClient
 	sessions *gateSessionTable
+	hops     *obs.HopLog
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -77,6 +79,7 @@ type gateCounters struct {
 // state.
 type drive struct {
 	key     string
+	trace   string // hop-trace id, derived from the key at submit
 	payload []byte
 	state   string
 	errMsg  string
@@ -115,6 +118,7 @@ func NewRouter(ctx context.Context, cfg Config) (*Router, error) {
 		reg:      newRegistry(cfg.Shards),
 		client:   cfg.Client,
 		sessions: newGateSessionTable(),
+		hops:     obs.NewHopLog("gate", cfg.HopTraces),
 		st: routerState{
 			drives:  make(map[string]*drive),
 			warm:    make(map[string]string),
@@ -234,7 +238,8 @@ func (r *Router) Submit(spec *service.JobSpec) (id, state string, code int, err 
 		return key, "", http.StatusTooManyRequests,
 			fmt.Errorf("gate saturated (%d drives in flight)", r.st.inflight)
 	}
-	d := &drive{key: key, payload: payload, state: service.StateQueued, done: make(chan struct{})}
+	d := &drive{key: key, trace: obs.JobTraceID(key), payload: payload,
+		state: service.StateQueued, done: make(chan struct{})}
 	r.st.drives[key] = d
 	r.st.inflight++
 	r.wg.Add(1)
@@ -319,10 +324,23 @@ func (r *Router) runDrive(d *drive) {
 	}
 	if out.hedge {
 		r.n.hedgesWon.Add(1)
+		r.hops.Emit(obs.HopEvent{Trace: d.trace, Kind: obs.HopHedgeWinner,
+			Arg: out.shard, StartMS: time.Now().UnixMilli()})
 	}
+	// Where the job landed is a routing fact — volatile. What the job
+	// computed is content: the gate mirrors the admitted/exec hops from
+	// client-visible facts (the key, the result size), so the merged
+	// deterministic view survives even when the serving shard is killed
+	// before its slice can be collected. A surviving shard's own hops
+	// carry identical tuples and dedup to one.
+	r.hops.Emit(obs.HopEvent{Trace: d.trace, Kind: obs.HopRoute,
+		Arg: out.shard, StartMS: time.Now().UnixMilli()})
+	r.hops.Emit(obs.HopEvent{Trace: d.trace, Kind: obs.HopAdmitted})
+	r.hops.Emit(obs.HopEvent{Trace: d.trace, Kind: obs.HopExec,
+		Arg: shortHopArg(d.key), Dur: uint64(len(out.body))})
 	r.reg.observeWin(out.shard, out.warm)
 	if r.cfg.Replicas > 1 {
-		r.replicate(d.key, out.shard, out.body)
+		r.replicate(d.key, d.trace, out.shard, out.body)
 	}
 }
 
@@ -361,6 +379,8 @@ func (r *Router) race(ctx context.Context, d *drive) (attemptOut, error) {
 		active++
 		if hedge {
 			r.n.hedgesLaunched.Add(1)
+			r.hops.Emit(obs.HopEvent{Trace: d.trace, Kind: obs.HopHedgeFired,
+				Arg: name, StartMS: time.Now().UnixMilli()})
 		}
 		wg.Add(1)
 		go func() {
@@ -393,6 +413,21 @@ func (r *Router) race(ctx context.Context, d *drive) (attemptOut, error) {
 		case out := <-results:
 			active--
 			if out.err == nil {
+				// Cancel the losers explicitly before returning: the
+				// deferred wg.Wait runs before the deferred cancel (LIFO),
+				// so without this a losing hedge would run its job to
+				// completion — doubling shard work — before the race could
+				// return the answer it already has.
+				cancel()
+				wg.Wait()
+				for active > 0 {
+					lost := <-results
+					active--
+					if lost.err != nil {
+						r.hops.Emit(obs.HopEvent{Trace: d.trace, Kind: obs.HopHedgeLoser,
+							Arg: lost.shard, StartMS: time.Now().UnixMilli()})
+					}
+				}
 				return out, nil
 			}
 			if firstErr == nil {
@@ -404,8 +439,10 @@ func (r *Router) race(ctx context.Context, d *drive) (attemptOut, error) {
 					return attemptOut{}, err
 				}
 				backoff *= 2
-				if _, ok := launch(false); ok {
+				if name, ok := launch(false); ok {
 					r.n.failovers.Add(1)
+					r.hops.Emit(obs.HopEvent{Trace: d.trace, Kind: obs.HopFailover,
+						Arg: name, StartMS: time.Now().UnixMilli()})
 				}
 			}
 		}
@@ -507,7 +544,7 @@ type wireStatus struct {
 // warm-route signal the cluster smoke asserts on.
 func (r *Router) driveShard(ctx context.Context, base string, d *drive) (body []byte, warm bool, err error) {
 	for {
-		st, code, err := r.postJSON(ctx, base+"/v1/jobs", d.payload)
+		st, code, err := r.postJSON(ctx, base+"/v1/jobs", d.payload, d.trace)
 		if err != nil {
 			return nil, false, err
 		}
@@ -572,7 +609,7 @@ func (r *Router) setRunning(d *drive) {
 // later primary death still finds the result warm. Content addressing
 // makes the push idempotent: a re-put of an existing key is a no-op on
 // the shard, so retries and races can never duplicate side effects.
-func (r *Router) replicate(key, serving string, body []byte) {
+func (r *Router) replicate(key, trace, serving string, body []byte) {
 	for _, o := range r.ring.Owners(key, r.cfg.Replicas) {
 		if o == serving || !r.reg.isAlive(o) {
 			continue
@@ -582,7 +619,7 @@ func (r *Router) replicate(key, serving string, body []byte) {
 			continue
 		}
 		r.wg.Add(1)
-		go func(url string) {
+		go func(name, url string) {
 			defer r.wg.Done()
 			ctx, cancel := context.WithTimeout(r.baseCtx, 10*time.Second)
 			defer cancel()
@@ -591,18 +628,25 @@ func (r *Router) replicate(key, serving string, body []byte) {
 				return
 			}
 			r.n.replicasPushed.Add(1)
-		}(sh.URL)
+			r.hops.Emit(obs.HopEvent{Trace: trace, Kind: obs.HopReplicaPush,
+				Arg: name, StartMS: time.Now().UnixMilli()})
+		}(o, sh.URL)
 	}
 }
 
 // --- HTTP helpers -----------------------------------------------------
 
-func (r *Router) postJSON(ctx context.Context, url string, payload []byte) (wireStatus, int, error) {
+func (r *Router) postJSON(ctx context.Context, url string, payload []byte, trace string) (wireStatus, int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
 		return wireStatus{}, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the hop-trace id so the shard's slice files under the
+	// same trace the gate (and the client) will query.
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	return doJSON(r.client, req)
 }
 

@@ -9,8 +9,10 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vcprof/internal/live"
+	"vcprof/internal/obs"
 )
 
 // Live-session routing. Jobs are stateless and content-addressed, so
@@ -27,6 +29,7 @@ import (
 // gateSession is one routed live session.
 type gateSession struct {
 	id       string // gate-facing id; also the ring key for stickiness
+	trace    string // hop-trace id, derived from the spec key at create
 	mu       sync.Mutex
 	spec     live.SessionSpec
 	shard    string // pinned shard name
@@ -65,6 +68,12 @@ type sessionCreateWire struct {
 	Key     string           `json:"key"`
 	Resumed bool             `json:"resumed"`
 	Spec    live.SessionSpec `json:"spec"`
+	// Shard names the serving backend (gate responses only; a daemon
+	// answering directly leaves it empty). Harnesses use it to aim
+	// chaos at the pinned shard; the trace id is what clients pass to
+	// /v1/cluster/trace.
+	Shard string `json:"shard,omitempty"`
+	Trace string `json:"trace,omitempty"`
 }
 
 type sessionCreateBody struct {
@@ -103,7 +112,8 @@ func (r *Router) handleSessionCreate(w http.ResponseWriter, req *http.Request) {
 	}
 	r.sessions.mu.Lock()
 	r.sessions.seq++
-	gs := &gateSession{id: fmt.Sprintf("%.16s-g%04x", key, r.sessions.seq), spec: body.Spec}
+	gs := &gateSession{id: fmt.Sprintf("%.16s-g%04x", key, r.sessions.seq),
+		trace: traceFromRequest(req, obs.SessionTraceID(key)), spec: body.Spec}
 	r.sessions.m[gs.id] = gs
 	r.sessions.mu.Unlock()
 
@@ -118,7 +128,15 @@ func (r *Router) handleSessionCreate(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	r.sessions.opened.Add(1)
-	writeJSON(w, http.StatusCreated, sessionCreateWire{ID: gs.id, Key: key, Spec: created.Spec})
+	// Mirror the deterministic open hop from the spec key (the shard
+	// emits the identical tuple; a later kill cannot erase the fact the
+	// stream opened) and record the volatile anchor placement.
+	r.hops.Emit(obs.HopEvent{Trace: gs.trace, Kind: obs.HopSessionOpen, Arg: shortHopArg(key)})
+	r.hops.Emit(obs.HopEvent{Trace: gs.trace, Kind: obs.HopRoute,
+		Arg: gs.shard, StartMS: time.Now().UnixMilli()})
+	writeJSON(w, http.StatusCreated, sessionCreateWire{
+		ID: gs.id, Key: key, Spec: created.Spec, Shard: gs.shard, Trace: gs.trace,
+	})
 }
 
 // anchorSessionLocked creates (or, with a token, re-creates) gs on the best
@@ -144,7 +162,7 @@ func (r *Router) anchorSessionLocked(ctx context.Context, gs *gateSession, tok *
 		if !ok {
 			continue
 		}
-		created, err := postSessionJSON[sessionCreateWire](ctx, r.client, sh.URL+"/v1/sessions", payload, http.StatusCreated)
+		created, err := postSessionJSON[sessionCreateWire](ctx, r.client, sh.URL+"/v1/sessions", payload, http.StatusCreated, gs.trace)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -193,7 +211,7 @@ func (r *Router) handleSessionFeed(w http.ResponseWriter, req *http.Request) {
 			return nil, fmt.Errorf("shard %s down", gs.shard)
 		}
 		return postSessionJSON[sessionWire](req.Context(), r.client,
-			sh.URL+"/v1/sessions/"+gs.remoteID+"/frames", payload, http.StatusOK)
+			sh.URL+"/v1/sessions/"+gs.remoteID+"/frames", payload, http.StatusOK, gs.trace)
 	}
 
 	resp, err := feedOnce()
@@ -208,6 +226,10 @@ func (r *Router) handleSessionFeed(w http.ResponseWriter, req *http.Request) {
 			writeError(w, http.StatusBadGateway, "session failover: %v (after %v)", aerr, err)
 			return
 		}
+		// The re-anchor hop names the new shard and carries the token's
+		// GOP index — where in the stream the encode picked back up.
+		r.hops.Emit(obs.HopEvent{Trace: gs.trace, Kind: obs.HopReAnchor,
+			Seq: uint64(tok.GOP), Arg: gs.shard, StartMS: time.Now().UnixMilli()})
 		resp, err = feedOnce()
 		if err != nil {
 			writeError(w, http.StatusBadGateway, "session feed after failover: %v", err)
@@ -225,6 +247,11 @@ func (r *Router) handleSessionFeed(w http.ResponseWriter, req *http.Request) {
 		}
 		out = append(out, g)
 		gs.lastGOP = g.Index + 1
+		// Mirror each first-delivery GOP as a deterministic hop: index,
+		// digest prefix and modeled cost are content, identical no matter
+		// which shard (original or re-anchored) encoded it.
+		r.hops.Emit(obs.HopEvent{Trace: gs.trace, Kind: obs.HopGOP,
+			Seq: uint64(g.Index), Arg: shortHopArg(g.Digest), Dur: g.Insts})
 	}
 	resp.GOPs = out
 	gs.resume = resp.Resume
@@ -267,12 +294,15 @@ func (r *Router) handleSessionStats(w http.ResponseWriter, req *http.Request) {
 // postSessionJSON posts a payload and decodes a typed response,
 // treating any status other than want as an error (5xx and transport
 // failures trigger failover upstream; 4xx surface verbatim).
-func postSessionJSON[T any](ctx context.Context, client HTTPClient, url string, payload []byte, want int) (*T, error) {
+func postSessionJSON[T any](ctx context.Context, client HTTPClient, url string, payload []byte, want int, trace string) (*T, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"vcprof/internal/obs"
+	"vcprof/internal/telemetry"
+)
+
+// Cluster-wide trace collection and telemetry federation. Each process
+// — the gate and every vcprofd shard — keeps its own bounded hop log
+// and serves raw slices at GET /v1/trace/{id}; the gate's
+// /v1/cluster/trace/{id} collects the slices from every live shard
+// plus its own, merges them with obs.MergeHops and renders one Chrome
+// trace. The deterministic view (?volatile=0) is byte-stable across
+// topologies and reruns because every hop in it is content-derived and
+// the gate mirrors the content facts it witnesses, so even slices lost
+// to a killed shard leave no hole. /v1/cluster/metrics federates the
+// shards' Prometheus expositions under per-shard labels, and /v1/slo
+// folds the shards' live-SLO reports into cluster burn rates.
+
+// hopSliceWire mirrors vcprofd's /v1/trace/{id} document.
+type hopSliceWire struct {
+	Proc   string         `json:"proc"`
+	Trace  string         `json:"trace"`
+	Events []obs.HopEvent `json:"events"`
+}
+
+// shortHopArg truncates a content hash to the 16-char prefix hop
+// events carry, matching the service layer's convention so mirrored
+// tuples dedup exactly.
+func shortHopArg(s string) string {
+	if len(s) > 16 {
+		return s[:16]
+	}
+	return s
+}
+
+// traceFromRequest honors a client-propagated trace id when it is
+// well-formed, else falls back to the content-derived default.
+func traceFromRequest(req *http.Request, fallback string) string {
+	if v := req.Header.Get(obs.TraceHeader); obs.ValidTraceID(v) {
+		return v
+	}
+	return fallback
+}
+
+func (r *Router) handleTraceSlice(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if !obs.ValidTraceID(id) {
+		writeError(w, http.StatusBadRequest, "bad trace id %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, hopSliceWire{
+		Proc: r.hops.Proc(), Trace: id, Events: r.hops.Slice(id),
+	})
+}
+
+// collectSlices gathers the hop slices for one trace: the gate's own,
+// then every live shard's in sorted-name order. A shard that cannot
+// answer (killed, draining) contributes nothing — by design the merged
+// deterministic view is already whole without it.
+func (r *Router) collectSlices(ctx context.Context, id string) [][]obs.HopEvent {
+	slices := [][]obs.HopEvent{r.hops.Slice(id)}
+	for _, name := range r.reg.aliveNames() {
+		sh, _, ok := r.reg.lookup(name)
+		if !ok {
+			continue
+		}
+		body, err := getBytes(ctx, r.client, sh.URL+"/v1/trace/"+id)
+		if err != nil {
+			continue
+		}
+		var slice hopSliceWire
+		if err := json.Unmarshal(body, &slice); err != nil {
+			continue
+		}
+		slices = append(slices, slice.Events)
+	}
+	return slices
+}
+
+func (r *Router) handleClusterTrace(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if !obs.ValidTraceID(id) {
+		writeError(w, http.StatusBadRequest, "bad trace id %q", id)
+		return
+	}
+	includeVolatile := req.URL.Query().Get("volatile") != "0"
+	merged := obs.MergeHops(r.collectSlices(req.Context(), id), includeVolatile)
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteHopTrace(w, merged); err != nil {
+		return
+	}
+}
+
+// handleClusterMetrics federates the live shards' Prometheus
+// expositions: every sample reappears under a shard="<name>" label,
+// plus a shard="cluster" rollup (sum). The volatile query parameter
+// passes through, so ?volatile=0 federates only the deterministic
+// subset — byte-stable for a fixed completed workload.
+func (r *Router) handleClusterMetrics(w http.ResponseWriter, req *http.Request) {
+	volatileParam := ""
+	if req.URL.Query().Get("volatile") == "0" {
+		volatileParam = "?volatile=0"
+	}
+	var shards []telemetry.ShardExposition
+	for _, name := range r.reg.aliveNames() {
+		sh, _, ok := r.reg.lookup(name)
+		if !ok {
+			continue
+		}
+		body, err := getBytes(req.Context(), r.client, sh.URL+"/metrics"+volatileParam)
+		if err != nil {
+			continue
+		}
+		parsed, err := telemetry.ParseProm(string(body))
+		if err != nil {
+			continue
+		}
+		shards = append(shards, telemetry.ShardExposition{Shard: name, P: parsed})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := telemetry.WriteFederation(w, shards); err != nil {
+		return
+	}
+}
+
+// handleSLO folds every live shard's /v1/slo report into one cluster
+// document with recomputed burn rates. Ratios survive aggregation: the
+// cluster miss burn is total misses over total frames, not an average
+// of per-shard rates.
+func (r *Router) handleSLO(w http.ResponseWriter, req *http.Request) {
+	var total telemetry.SLOReport
+	for _, name := range r.reg.aliveNames() {
+		sh, _, ok := r.reg.lookup(name)
+		if !ok {
+			continue
+		}
+		body, err := getBytes(req.Context(), r.client, sh.URL+"/v1/slo")
+		if err != nil {
+			continue
+		}
+		var rep telemetry.SLOReport
+		if err := json.Unmarshal(body, &rep); err != nil {
+			continue
+		}
+		total = total.Add(rep)
+	}
+	writeJSON(w, http.StatusOK, total)
+}

@@ -2,17 +2,21 @@ package live
 
 import "vcprof/internal/obs"
 
-// Session telemetry. All of these count modeled events, so for a fixed
-// workload they are schedule-independent and register as deterministic
-// counters. A resumed session re-registers only what it encodes itself,
-// so per-process values always reflect that process's work.
+// Session telemetry, named per the cluster-wide convention documented
+// in internal/telemetry/naming.go (<domain>.<group>.<metric>). All of
+// these count modeled events, so for a fixed workload they are
+// schedule-independent and register as deterministic counters; they
+// are also the inputs to telemetry.SLOFromRegistry, which folds them
+// into the /v1/slo burn rates. A resumed session re-registers only
+// what it encodes itself, so per-process values always reflect that
+// process's work.
 var (
 	obsSessions = obs.NewCounter("live.sessions")
-	obsResumes  = obs.NewCounter("live.session_resumes")
-	obsFrames   = obs.NewCounter("live.frames_fed")
+	obsResumes  = obs.NewCounter("live.sessions.resumed")
+	obsFrames   = obs.NewCounter("live.frames.fed")
 	obsGOPs     = obs.NewCounter("live.gops")
-	obsDropped  = obs.NewCounter("live.dropped_frames")
-	obsMisses   = obs.NewCounter("live.deadline_misses")
-	obsDegrades = obs.NewCounter("live.degrade_steps")
-	obsShared   = obs.NewCounter("live.rung_gops_shared")
+	obsDropped  = obs.NewCounter("live.frames.dropped")
+	obsMisses   = obs.NewCounter("live.frames.deadline_misses")
+	obsDegrades = obs.NewCounter("live.gops.degrade_steps")
+	obsShared   = obs.NewCounter("live.gops.rung_shared")
 )

@@ -33,7 +33,7 @@ func mustJob(t *testing.T, s JobSpec) *job {
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	return newJob(s)
+	return newJob(s, "")
 }
 
 // TestSJFPopsLightJobsFirst pins the admission policy: under sjf,

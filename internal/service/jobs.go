@@ -37,16 +37,19 @@ type job struct {
 	// telemetry only, never part of the result document. Written once
 	// at construction, before the job is published to the queue.
 	enqueuedAt time.Time
+	// traceID is the propagated (or key-derived) hop-trace id. Written
+	// once at construction; observability only, never in the result.
+	traceID string
 
 	state  string
 	errMsg string
 	done   chan struct{}
 }
 
-func newJob(spec JobSpec) *job {
+func newJob(spec JobSpec, traceID string) *job {
 	cost := spec.EstimatedCost()
 	return &job{spec: spec, key: spec.Key(), cost: cost, class: classOf(cost),
-		state: StateQueued, done: make(chan struct{}), enqueuedAt: time.Now()}
+		traceID: traceID, state: StateQueued, done: make(chan struct{}), enqueuedAt: time.Now()}
 }
 
 // jobShards is the stripe count of the in-flight table. Keys are
@@ -102,7 +105,7 @@ func hexNibble(c byte) int {
 // a fresh one when absent. loaded reports whether an existing job was
 // joined (the singleflight path: the duplicate submission shares the
 // original's computation and result).
-func (t *jobTable) getOrAdd(spec JobSpec, key string) (j *job, loaded bool) {
+func (t *jobTable) getOrAdd(spec JobSpec, key, traceID string) (j *job, loaded bool) {
 	sh := t.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -112,7 +115,7 @@ func (t *jobTable) getOrAdd(spec JobSpec, key string) (j *job, loaded bool) {
 	// Absent, or present but failed: a failed job is replaced by a
 	// fresh attempt (timeouts are the common failure, and a retry may
 	// have a longer budget).
-	j = newJob(spec)
+	j = newJob(spec, traceID)
 	sh.m[key] = j
 	return j, false
 }

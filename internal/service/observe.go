@@ -2,12 +2,13 @@ package service
 
 import "vcprof/internal/obs"
 
-// Service counters. Deterministic counters depend only on the set of
-// jobs the server was asked to complete (fixed request mix → fixed
-// totals, any worker count); volatile counters measure races the
-// scheduler decides — whether a duplicate arrived while its twin was
-// still in flight, whether the queue happened to be full — and are
-// excluded from every byte-compared export, as usual.
+// Service counters, named per internal/telemetry/naming.go.
+// Deterministic counters depend only on the set of jobs the server was
+// asked to complete (fixed request mix → fixed totals, any worker
+// count); volatile counters measure races the scheduler decides —
+// whether a duplicate arrived while its twin was still in flight,
+// whether the queue happened to be full — and are excluded from every
+// byte-compared export, as usual.
 var (
 	obsJobsSubmitted = obs.NewCounter("svc.jobs.submitted") // accepted into the queue
 	obsJobsCompleted = obs.NewCounter("svc.jobs.completed")

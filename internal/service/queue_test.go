@@ -10,7 +10,7 @@ func qjob(prio int) *job {
 	s := validEncodeSpec()
 	s.Priority = prio
 	s.CRF = 20 + prio // make specs distinct
-	return newJob(s)
+	return newJob(s, "")
 }
 
 func TestQueuePriorityThenArrival(t *testing.T) {

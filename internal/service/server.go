@@ -63,6 +63,11 @@ type Config struct {
 	// echoed by GET /v1/registry so router probes can confirm they
 	// reached the shard they meant to (default "vcprofd").
 	ShardName string
+	// HopTraces bounds the distributed-tracing hop log: how many trace
+	// ids this daemon retains hop events for, FIFO-evicted (default
+	// 512). Hop tracing is always on — emission is two map ops per
+	// lifecycle edge, far off the encode path.
+	HopTraces int
 }
 
 func (c *Config) fill() {
@@ -90,6 +95,9 @@ func (c *Config) fill() {
 	if c.ShardName == "" {
 		c.ShardName = "vcprofd"
 	}
+	if c.HopTraces < 1 {
+		c.HopTraces = 512
+	}
 }
 
 // Server is the vcprofd core: admission control, the job table, the
@@ -104,6 +112,7 @@ type Server struct {
 	board    *traceBoard
 	tele     *teleBoard
 	sessions *sessionTable
+	hops     *obs.HopLog
 	pool     *sched.Pool // shared shard scheduler; nil when sharding is disabled
 
 	baseCtx    context.Context
@@ -140,6 +149,7 @@ func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 		jobs:        newJobTable(),
 		board:       newTraceBoard(cfg.Obs, cfg.Workers, cfg.ShardWorkers),
 		sessions:    newSessionTable(),
+		hops:        obs.NewHopLog(cfg.ShardName, cfg.HopTraces),
 		samplerStop: make(chan struct{}),
 	}
 	if !cfg.DisableSharding {
@@ -223,6 +233,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.baseCancel()
+	// Streams still open after the drain barrier were cut short by
+	// shutdown, not end-of-stream; their traces record the fact so a
+	// merged cluster view shows where each stream stopped and why.
+	for _, trace := range s.sessions.openTraces() {
+		s.hops.Emit(obs.HopEvent{Trace: trace, Kind: obs.HopDrainFinish,
+			StartMS: time.Now().UnixMilli()})
+	}
 	if s.pool != nil {
 		// After the worker WaitGroup drains no job can submit new graphs;
 		// Close waits for the pool's standing workers to exit.
@@ -259,6 +276,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/topdown", s.handleJobTopdown)
 	mux.HandleFunc("GET /v1/telemetry/topdown", s.handleTopdown)
 	mux.HandleFunc("GET /v1/telemetry/series", s.handleSeries)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTraceSlice)
+	mux.HandleFunc("GET /v1/cluster/trace/{id}", s.handleClusterTrace)
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	mux.HandleFunc("GET /debug/profile", s.handleProfile)
@@ -312,7 +332,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, jobStatus{ID: key, Status: StateDone, Cached: true})
 		return
 	}
-	j, joined := s.jobs.getOrAdd(spec, key)
+	j, joined := s.jobs.getOrAdd(spec, key, traceIDFromRequest(r, obs.JobTraceID(key)))
 	if joined {
 		// Singleflight: this submission rides the identical in-flight
 		// job; one computation will satisfy both.
@@ -336,7 +356,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	obsJobsSubmitted.Add(1)
 	obsQueuePeak.Max(uint64(s.q.depth()))
+	// Deterministic admission hop: the fact the job was admitted is
+	// content-derived, so the tuple merges clean across topologies.
+	s.hops.Emit(obs.HopEvent{Trace: j.traceID, Kind: obs.HopAdmitted})
 	writeJSON(w, http.StatusAccepted, jobStatus{ID: key, Status: StateQueued})
+}
+
+// traceIDFromRequest reads the propagated trace id off the wire,
+// falling back to the content-derived default — which a gate, deriving
+// from the same key, sends anyway. The validation bound keeps
+// arbitrary header bytes out of exports.
+func traceIDFromRequest(r *http.Request, fallback string) string {
+	if v := r.Header.Get(obs.TraceHeader); obs.ValidTraceID(v) {
+		return v
+	}
+	return fallback
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"vcprof/internal/live"
 	"vcprof/internal/obs"
+	"vcprof/internal/telemetry"
 )
 
 // maxSessions bounds concurrently open live sessions per daemon; a
@@ -36,19 +38,23 @@ type sessionTable struct {
 	mu     sync.Mutex
 	seq    uint64
 	m      map[string]*sessionEntry
+	traces map[string]string // id -> propagated hop-trace id
 	closed bool
 	wg     sync.WaitGroup
 }
 
 func newSessionTable() *sessionTable {
-	return &sessionTable{m: make(map[string]*sessionEntry)}
+	return &sessionTable{
+		m:      make(map[string]*sessionEntry),
+		traces: make(map[string]string),
+	}
 }
 
 // add registers a new session under a fresh id. The id is a routing
 // handle (spec-key prefix + per-daemon sequence), deliberately opaque:
 // it appears in no digest, so resuming a session elsewhere under a new
 // id changes nothing the client folds.
-func (t *sessionTable) add(key string, s *live.Session, traced bool) (*sessionEntry, error) {
+func (t *sessionTable) add(key string, s *live.Session, traced bool, trace string) (*sessionEntry, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -67,7 +73,27 @@ func (t *sessionTable) add(key string, s *live.Session, traced bool) (*sessionEn
 	}
 	e := &sessionEntry{id: id, s: s, sess: sess, lane: lane}
 	t.m[id] = e
+	t.traces[id] = trace
 	return e, nil
+}
+
+// trace answers the propagated hop-trace id a session was opened under.
+func (t *sessionTable) trace(id string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traces[id]
+}
+
+// openTraces snapshots the (id, trace) pairs of sessions still open —
+// the drain path emits their drain-finish hops after wait returns.
+func (t *sessionTable) openTraces() map[string]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]string, len(t.traces))
+	for id, tr := range t.traces {
+		out[id] = tr
+	}
+	return out
 }
 
 func (t *sessionTable) get(id string) (*sessionEntry, bool) {
@@ -104,6 +130,7 @@ func (t *sessionTable) remove(id string) (*sessionEntry, bool) {
 	e, ok := t.m[id]
 	if ok {
 		delete(t.m, id)
+		delete(t.traces, id)
 	}
 	return e, ok
 }
@@ -157,9 +184,25 @@ type sessionFeedResp struct {
 }
 
 type sessionStatsResp struct {
-	ID    string           `json:"id"`
-	Spec  live.SessionSpec `json:"spec"`
-	Stats live.Stats       `json:"stats"`
+	ID    string              `json:"id"`
+	Spec  live.SessionSpec    `json:"spec"`
+	Stats live.Stats          `json:"stats"`
+	SLO   telemetry.SLOReport `json:"slo"`
+}
+
+// sloOfStats projects one session's cumulative stats onto the SLO
+// report shape, so a stats poll shows this stream's burn rates with
+// the same math the process-wide /v1/slo uses.
+func sloOfStats(st live.Stats) telemetry.SLOReport {
+	r := telemetry.SLOReport{
+		Sessions: 1,
+		Frames:   uint64(st.Fed),
+		GOPs:     uint64(st.GOPs),
+		Dropped:  uint64(st.Dropped),
+		Misses:   uint64(st.Misses),
+		Degrades: uint64(st.DegradeTotal),
+	}
+	return r.WithBurn()
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
@@ -191,13 +234,24 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	e, err := s.sessions.add(key, sess, s.cfg.Obs != nil)
+	tid := traceIDFromRequest(r, obs.SessionTraceID(key))
+	e, err := s.sessions.add(key, sess, s.cfg.Obs != nil, tid)
 	if err != nil {
 		obsJobsRefused.Add(1)
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	obsSessionsOpened.Add(1)
+	if req.Resume != nil {
+		// A resume is a placement fact (which process picked the stream
+		// back up, and where in it): volatile, stamped by the caller.
+		s.hops.Emit(obs.HopEvent{Trace: tid, Kind: obs.HopSessionResume,
+			Seq: uint64(req.Resume.StartFrame), StartMS: time.Now().UnixMilli()})
+	} else {
+		// Opening is content-derived — every topology opens the same
+		// stream exactly once — so it lands in the deterministic view.
+		s.hops.Emit(obs.HopEvent{Trace: tid, Kind: obs.HopSessionOpen, Arg: shortArg(key)})
+	}
 	e.mu.Lock()
 	id := e.id
 	e.mu.Unlock()
@@ -226,6 +280,7 @@ func (s *Server) handleSessionFeed(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.sessions.endFeed()
+	trace := s.sessions.trace(id)
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -235,8 +290,10 @@ func (s *Server) handleSessionFeed(w http.ResponseWriter, r *http.Request) {
 	}
 	// Encodes run under the server's base context: a graceful drain lets
 	// them finish (beginFeed pinned us), a hard shutdown cancels them at
-	// the next task boundary.
-	gops, err := e.s.Feed(s.baseCtx, delta, req.EOS)
+	// the next task boundary. The trace context rides along so nested
+	// layers can attribute their work to this stream.
+	ctx := obs.WithTraceContext(s.baseCtx, obs.TraceContext{Trace: trace})
+	gops, err := e.s.Feed(ctx, delta, req.EOS)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -249,6 +306,11 @@ func (s *Server) handleSessionFeed(w http.ResponseWriter, r *http.Request) {
 			e.lane.Advance(1 + gops[i].Insts)
 			sp.End()
 		}
+		// GOP hops are pure content: index, digest prefix and modeled
+		// instruction count are identical wherever the GOP encodes, so a
+		// resumed session's hops merge seamlessly with the original's.
+		s.hops.Emit(obs.HopEvent{Trace: trace, Kind: obs.HopGOP,
+			Seq: uint64(gops[i].Index), Arg: shortArg(gops[i].Digest), Dur: gops[i].Insts})
 	}
 	st := e.s.Stats()
 	resp := sessionFeedResp{ID: id, GOPs: gops, Stats: st, Resume: e.s.ResumeToken()}
@@ -272,7 +334,8 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	writeJSON(w, http.StatusOK, sessionStatsResp{ID: id, Spec: e.s.Spec(), Stats: e.s.Stats()})
+	st := e.s.Stats()
+	writeJSON(w, http.StatusOK, sessionStatsResp{ID: id, Spec: e.s.Spec(), Stats: st, SLO: sloOfStats(st)})
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {

@@ -46,6 +46,10 @@ func (s *Server) runJob(idx int, j *job) {
 		wait := uint64(time.Since(j.enqueuedAt).Milliseconds())
 		obsQueueWaitMS.Observe(wait)
 		obsQueueWaitClassMS[j.class].Observe(wait)
+		// Queue wait is scheduler-decided: a volatile placement hop,
+		// stamped here (obs never reads the clock itself).
+		s.hops.Emit(obs.HopEvent{Trace: j.traceID, Kind: obs.HopQueueWait,
+			Dur: wait, StartMS: j.enqueuedAt.UnixMilli()})
 	}
 	s.tele.running.Add(1)
 	defer s.tele.running.Add(-1)
@@ -55,6 +59,7 @@ func (s *Server) runJob(idx int, j *job) {
 		timeout = t
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	ctx = obs.WithTraceContext(ctx, obs.TraceContext{Trace: j.traceID})
 	ctx = topdown.WithAccumulator(ctx, s.tele.jobAcc(j.key))
 	ctx = topdown.WithAccumulator(ctx, s.tele.agg)
 	if s.pool != nil {
@@ -74,6 +79,8 @@ func (s *Server) runJob(idx int, j *job) {
 	if err != nil {
 		obsJobsFailed.Add(1)
 		s.board.span(idx, obsJobFailedName, j.key, 1)
+		s.hops.Emit(obs.HopEvent{Trace: j.traceID, Kind: obs.HopJobFailed,
+			Arg: shortArg(j.key), StartMS: time.Now().UnixMilli()})
 		s.jobs.setState(j, StateFailed, err.Error())
 		return
 	}
@@ -81,13 +88,19 @@ func (s *Server) runJob(idx int, j *job) {
 	if perr := s.store.Put(j.key, data); perr != nil {
 		obsJobsFailed.Add(1)
 		s.board.span(idx, obsJobFailedName, j.key, 1)
+		s.hops.Emit(obs.HopEvent{Trace: j.traceID, Kind: obs.HopJobFailed,
+			Arg: shortArg(j.key), StartMS: time.Now().UnixMilli()})
 		s.jobs.setState(j, StateFailed, "store: "+perr.Error())
 		return
 	}
 	obsJobsCompleted.Add(1)
 	// Ticks advance by payload size — a modeled quantity, never host
-	// time, per the obs contract.
+	// time, per the obs contract. The exec hop is deterministic on the
+	// same grounds: its duration is the result size, identical on every
+	// shard (or hedge replay) that computes the job.
 	s.board.span(idx, obsJobDoneName, j.key, uint64(len(data)))
+	s.hops.Emit(obs.HopEvent{Trace: j.traceID, Kind: obs.HopExec,
+		Arg: shortArg(j.key), Dur: uint64(len(data))})
 	s.jobs.setState(j, StateDone, "")
 }
 

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Cluster metrics federation (DESIGN.md §13): the gate scrapes every
+// live shard's /metrics, parses each exposition, and re-renders one
+// combined document — every family sorted by name, one labeled sample
+// per shard plus a shard="cluster" rollup (sum). The render is a pure
+// function of the parsed inputs, so the same shard states federate to
+// byte-identical output no matter when or how often the gate is asked;
+// the ?volatile=0 form federates only the shards' deterministic
+// subsets and inherits their byte-stability.
+
+// ShardExposition is one shard's parsed scrape. Callers pass shards in
+// the order the output should list them (the gate sorts by shard name).
+type ShardExposition struct {
+	Shard string
+	P     *ParsedProm
+}
+
+// WriteFederation renders the federated exposition. Scalars emit one
+// sample per shard holding the family plus the cluster sum; histograms
+// emit the cluster-level bucket sum (per-shard bucket fan-out would
+// dwarf the document) under shard="cluster", skipping families whose
+// bucket layouts disagree across shards.
+func WriteFederation(w io.Writer, shards []ShardExposition) error {
+	bw := &errWriter{w: w}
+
+	scalarNames := map[string]bool{}
+	histNames := map[string]bool{}
+	for _, se := range shards {
+		if se.P == nil {
+			continue
+		}
+		for n := range se.P.Scalars {
+			scalarNames[n] = true
+		}
+		for n := range se.P.Hists {
+			histNames[n] = true
+		}
+	}
+	for _, name := range sortedKeys(scalarNames) {
+		typ := ""
+		for _, se := range shards {
+			if se.P == nil {
+				continue
+			}
+			if t, ok := se.P.Types[name]; ok && typ == "" {
+				typ = t
+			}
+		}
+		if typ == "" {
+			typ = "gauge"
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+		var sum float64
+		for _, se := range shards {
+			if se.P == nil {
+				continue
+			}
+			v, ok := se.P.Scalars[name]
+			if !ok {
+				continue
+			}
+			sum += v
+			fmt.Fprintf(bw, "%s{shard=%q} %s\n", name, se.Shard, formatFloat(v))
+		}
+		fmt.Fprintf(bw, "%s{shard=\"cluster\"} %s\n", name, formatFloat(sum))
+	}
+	for _, name := range sortedKeys(histNames) {
+		var bounds []uint64
+		var counts []uint64
+		var sum, count uint64
+		mismatched := false
+		seen := false
+		for _, se := range shards {
+			if se.P == nil {
+				continue
+			}
+			h, ok := se.P.Hists[name]
+			if !ok {
+				continue
+			}
+			if !seen {
+				seen = true
+				bounds = h.Bounds
+				counts = make([]uint64, len(h.Counts))
+			} else if !equalBounds(bounds, h.Bounds) {
+				mismatched = true
+				break
+			}
+			for i, c := range h.Counts {
+				counts[i] += c
+			}
+			sum += h.Sum
+			count += h.Count
+		}
+		if !seen || mismatched {
+			if mismatched {
+				fmt.Fprintf(bw, "# federation: %s skipped (bucket layouts disagree)\n", name)
+			}
+			continue
+		}
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		var cum uint64
+		for i, bound := range bounds {
+			cum += counts[i]
+			fmt.Fprintf(bw, "%s_bucket{shard=\"cluster\",le=\"%d\"} %d\n", name, bound, cum)
+		}
+		cum += counts[len(bounds)]
+		fmt.Fprintf(bw, "%s_bucket{shard=\"cluster\",le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(bw, "%s_sum{shard=\"cluster\"} %d\n", name, sum)
+		fmt.Fprintf(bw, "%s_count{shard=\"cluster\"} %d\n", name, count)
+	}
+	return bw.err
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalBounds(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vcprof/internal/obs"
+)
+
+func parsedFixture(jobs float64, latCounts []uint64) *ParsedProm {
+	return &ParsedProm{
+		Scalars: map[string]float64{
+			"vcprof_svc_jobs_completed": jobs,
+			"vcprof_live_gops":          2 * jobs,
+		},
+		Hists: map[string]obs.HistogramValue{
+			"vcprof_svc_job_latency_ms": {
+				Name:   "vcprof_svc_job_latency_ms",
+				Bounds: []uint64{1, 10},
+				Counts: latCounts,
+				Sum:    5,
+				Count:  latCounts[0] + latCounts[1] + latCounts[2],
+			},
+		},
+		Types: map[string]string{
+			"vcprof_svc_jobs_completed": "counter",
+			"vcprof_svc_job_latency_ms": "histogram",
+		},
+	}
+}
+
+func TestWriteFederationShapeAndSums(t *testing.T) {
+	shards := []ShardExposition{
+		{Shard: "s0", P: parsedFixture(3, []uint64{1, 1, 0})},
+		{Shard: "s1", P: parsedFixture(5, []uint64{0, 2, 1})},
+	}
+	var b bytes.Buffer
+	if err := WriteFederation(&b, shards); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE vcprof_svc_jobs_completed counter",
+		`vcprof_svc_jobs_completed{shard="s0"} 3`,
+		`vcprof_svc_jobs_completed{shard="s1"} 5`,
+		`vcprof_svc_jobs_completed{shard="cluster"} 8`,
+		`vcprof_live_gops{shard="cluster"} 16`,
+		"# TYPE vcprof_svc_job_latency_ms histogram",
+		`vcprof_svc_job_latency_ms_bucket{shard="cluster",le="1"} 1`,
+		`vcprof_svc_job_latency_ms_bucket{shard="cluster",le="10"} 4`,
+		`vcprof_svc_job_latency_ms_bucket{shard="cluster",le="+Inf"} 5`,
+		`vcprof_svc_job_latency_ms_count{shard="cluster"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("federation missing %q:\n%s", want, out)
+		}
+	}
+	// A family with no TYPE declaration defaults to gauge.
+	if !strings.Contains(out, "# TYPE vcprof_live_gops gauge") {
+		t.Errorf("undeclared family did not default to gauge:\n%s", out)
+	}
+}
+
+// TestFederationByteStable pins the render as a pure function: the same
+// parsed shard states federate to identical bytes however often asked,
+// and the output round-trips through ParseProm.
+func TestFederationByteStable(t *testing.T) {
+	shards := []ShardExposition{
+		{Shard: "s0", P: parsedFixture(3, []uint64{1, 1, 0})},
+		{Shard: "s1", P: parsedFixture(5, []uint64{0, 2, 1})},
+		{Shard: "s2", P: nil}, // unreachable shard: contributes nothing
+	}
+	var a, b bytes.Buffer
+	if err := WriteFederation(&a, shards); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFederation(&b, shards); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renders of the same inputs differ")
+	}
+	if _, err := ParseProm(a.String()); err != nil {
+		t.Fatalf("federated output does not re-parse: %v", err)
+	}
+}
+
+func TestFederationSkipsMismatchedBuckets(t *testing.T) {
+	odd := parsedFixture(1, []uint64{1, 0, 0})
+	h := odd.Hists["vcprof_svc_job_latency_ms"]
+	h.Bounds = []uint64{2, 20}
+	odd.Hists["vcprof_svc_job_latency_ms"] = h
+	var b bytes.Buffer
+	err := WriteFederation(&b, []ShardExposition{
+		{Shard: "s0", P: parsedFixture(1, []uint64{1, 0, 0})},
+		{Shard: "s1", P: odd},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "vcprof_svc_job_latency_ms_bucket") {
+		t.Errorf("mismatched histogram federated anyway:\n%s", out)
+	}
+	if !strings.Contains(out, "skipped (bucket layouts disagree)") {
+		t.Errorf("mismatch not surfaced as a comment:\n%s", out)
+	}
+}

@@ -1,0 +1,34 @@
+package telemetry
+
+// Metric naming convention — the single authoritative statement; the
+// per-package observe.go files (internal/service, internal/cluster,
+// internal/live, internal/sched) reference this block instead of
+// restating it.
+//
+// Registry names are dotted: <domain>.<group>.<metric>, where domain
+// names the owning layer (svc, gate, live, sched, perf, uarch, ...),
+// group the subsystem noun, and metric the event with underscores
+// inside multi-word leaves (queue.wait_ms, hedges.launched). Exposition
+// maps every name through promName: the vcprof_ prefix plus [a-zA-Z0-9_]
+// with each other byte folded to '_', so gate.hedges.launched is
+// scraped as vcprof_gate_hedges_launched. Federated cluster rollups
+// (WriteFederation) keep the same names and add a shard label —
+// shard="<name>" per source, shard="cluster" for the sum.
+//
+// The deterministic/volatile split is decided at registration and
+// never at render time:
+//
+//   - Deterministic (obs.NewCounter / obs.NewHistogram): counts of
+//     modeled events — frames, GOPs, instructions, deadline misses on
+//     the virtual clock, jobs admitted. For a fixed workload they are
+//     schedule- and topology-independent, appear in ?volatile=0
+//     expositions, and may be golden-pinned or byte-compared.
+//   - Volatile (obs.NewVolatileCounter / obs.NewVolatileHistogram and
+//     all Gauges): anything following wall-clock, health, placement or
+//     scheduling — latencies, queue waits, hedges, failovers, cache
+//     occupancy. Excluded from every byte-compared export; rendered
+//     only in full expositions and human-facing views.
+//
+// The same split governs hop tracing (obs.HopVolatile): deterministic
+// hops are content-addressed and byte-pinned, volatile hops carry
+// process labels and wall stamps and only appear in the full view.

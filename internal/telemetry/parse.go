@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vcprof/internal/obs"
+)
+
+// ParsedProm is one parsed text exposition: scalar samples (counters
+// and gauges), reconstructed histograms, and the declared # TYPE of
+// every family. Names are the exposed (vcprof_-prefixed) forms.
+type ParsedProm struct {
+	Scalars map[string]float64
+	Hists   map[string]obs.HistogramValue
+	Types   map[string]string
+}
+
+// ParseProm reads the subset of the Prometheus text exposition format
+// this repository emits: unlabeled counter/gauge samples, conventional
+// histogram series, and # TYPE lines. Histograms come back as
+// obs.HistogramValue (per-bucket counts, not cumulative) so quantile
+// logic is shared with the server. Labeled samples (federated output)
+// parse as scalars keyed by their full labeled name.
+func ParseProm(text string) (*ParsedProm, error) {
+	p := &ParsedProm{
+		Scalars: make(map[string]float64),
+		Hists:   make(map[string]obs.HistogramValue),
+		Types:   make(map[string]string),
+	}
+	type hist struct {
+		bounds []uint64
+		cum    []uint64
+		inf    uint64
+		sum    uint64
+	}
+	hists := make(map[string]*hist)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if f := strings.Fields(line); len(f) == 4 && f[1] == "TYPE" {
+				p.Types[f[2]] = f[3]
+			}
+			continue
+		}
+		name, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("exposition line %q: no value", line)
+		}
+		if base, le, isBucket := cutBucket(name); isBucket {
+			h, tracked := hists[base]
+			if !tracked {
+				h = &hist{}
+				hists[base] = h
+			}
+			v, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bucket %q: %w", line, err)
+			}
+			if le == "+Inf" {
+				h.inf = v
+			} else {
+				bound, err := strconv.ParseUint(le, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bucket bound %q: %w", le, err)
+				}
+				h.bounds = append(h.bounds, bound)
+				h.cum = append(h.cum, v)
+			}
+			continue
+		}
+		if base, okSum := strings.CutSuffix(name, "_sum"); okSum {
+			if h, tracked := hists[base]; tracked {
+				v, err := strconv.ParseUint(rest, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("sum %q: %w", line, err)
+				}
+				h.sum = v
+				continue
+			}
+		}
+		if base, okCount := strings.CutSuffix(name, "_count"); okCount {
+			if _, tracked := hists[base]; tracked {
+				continue // redundant with the +Inf bucket
+			}
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sample %q: %w", line, err)
+		}
+		p.Scalars[name] = v
+	}
+	for name, h := range hists {
+		counts := make([]uint64, len(h.bounds)+1)
+		var prev uint64
+		for i, c := range h.cum {
+			if c < prev {
+				return nil, fmt.Errorf("histogram %s: non-monotone cumulative buckets", name)
+			}
+			counts[i] = c - prev
+			prev = c
+		}
+		if h.inf < prev {
+			return nil, fmt.Errorf("histogram %s: +Inf below last bucket", name)
+		}
+		counts[len(h.bounds)] = h.inf - prev
+		p.Hists[name] = obs.HistogramValue{
+			Name:   name,
+			Bounds: h.bounds,
+			Counts: counts,
+			Sum:    h.sum,
+			Count:  h.inf,
+		}
+	}
+	return p, nil
+}
+
+// cutBucket splits `name_bucket{le="X"}` into (name, X, true).
+func cutBucket(sample string) (base, le string, ok bool) {
+	i := strings.Index(sample, "_bucket{le=\"")
+	if i < 0 {
+		return "", "", false
+	}
+	rest := sample[i+len("_bucket{le=\""):]
+	j := strings.Index(rest, "\"}")
+	if j < 0 {
+		return "", "", false
+	}
+	return sample[:i], rest[:j], true
+}

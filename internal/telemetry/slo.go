@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"vcprof/internal/obs"
+)
+
+// Live SLO layer. The live engine's deterministic counters already
+// count every frame, GOP, deadline miss and degrade step on the
+// virtual clock; an SLOReport folds them into burn rates — integer
+// parts-per-million, so the report itself stays byte-deterministic for
+// a fixed workload and mergeable across shards with no float drift.
+
+// SLOReport is the /v1/slo wire document: live-session event totals
+// plus the two burn rates vcperf slo -assert gates on.
+type SLOReport struct {
+	Sessions uint64 `json:"sessions"`
+	Resumes  uint64 `json:"session_resumes"`
+	Frames   uint64 `json:"frames_fed"`
+	GOPs     uint64 `json:"gops"`
+	Dropped  uint64 `json:"dropped_frames"`
+	Misses   uint64 `json:"deadline_misses"`
+	Degrades uint64 `json:"degrade_steps"`
+
+	// MissBurnPPM is deadline misses per million fed frames;
+	// DegradeBurnPPM is degrade steps per million encoded GOPs. Both
+	// are 0 when their denominator is 0.
+	MissBurnPPM    uint64 `json:"miss_burn_ppm"`
+	DegradeBurnPPM uint64 `json:"degrade_burn_ppm"`
+}
+
+// WithBurn returns the report with burn rates recomputed from counts.
+func (r SLOReport) WithBurn() SLOReport {
+	r.MissBurnPPM, r.DegradeBurnPPM = 0, 0
+	if r.Frames > 0 {
+		r.MissBurnPPM = r.Misses * 1_000_000 / r.Frames
+	}
+	if r.GOPs > 0 {
+		r.DegradeBurnPPM = r.Degrades * 1_000_000 / r.GOPs
+	}
+	return r
+}
+
+// Add merges another shard's report into this one (counts sum, burn
+// rates recompute over the merged denominators).
+func (r SLOReport) Add(o SLOReport) SLOReport {
+	r.Sessions += o.Sessions
+	r.Resumes += o.Resumes
+	r.Frames += o.Frames
+	r.GOPs += o.GOPs
+	r.Dropped += o.Dropped
+	r.Misses += o.Misses
+	r.Degrades += o.Degrades
+	return r.WithBurn()
+}
+
+// SLOFromRegistry reads the process's live.* counters into a report.
+func SLOFromRegistry() SLOReport {
+	var r SLOReport
+	for _, c := range obs.Counters(true) {
+		switch c.Name {
+		case "live.sessions":
+			r.Sessions = c.Value
+		case "live.sessions.resumed":
+			r.Resumes = c.Value
+		case "live.frames.fed":
+			r.Frames = c.Value
+		case "live.gops":
+			r.GOPs = c.Value
+		case "live.frames.dropped":
+			r.Dropped = c.Value
+		case "live.frames.deadline_misses":
+			r.Misses = c.Value
+		case "live.gops.degrade_steps":
+			r.Degrades = c.Value
+		}
+	}
+	return r.WithBurn()
+}
+
+// Check enforces the CI gates: burn rates at or under the given
+// ceilings and internally consistent counts. Empty means pass.
+func (r SLOReport) Check(maxMissPPM, maxDegradePPM uint64) []string {
+	var msgs []string
+	if r.MissBurnPPM > maxMissPPM {
+		msgs = append(msgs, fmt.Sprintf("deadline-miss burn %d ppm > budget %d ppm (%d misses / %d frames)",
+			r.MissBurnPPM, maxMissPPM, r.Misses, r.Frames))
+	}
+	if r.DegradeBurnPPM > maxDegradePPM {
+		msgs = append(msgs, fmt.Sprintf("degrade burn %d ppm > budget %d ppm (%d steps / %d GOPs)",
+			r.DegradeBurnPPM, maxDegradePPM, r.Degrades, r.GOPs))
+	}
+	if r.Misses > r.Frames {
+		msgs = append(msgs, fmt.Sprintf("inconsistent report: %d misses > %d frames", r.Misses, r.Frames))
+	}
+	return msgs
+}

@@ -1,0 +1,70 @@
+package telemetry
+
+import "testing"
+
+func TestSLOBurnMath(t *testing.T) {
+	r := SLOReport{Frames: 2000, Misses: 3, GOPs: 500, Degrades: 2}.WithBurn()
+	if r.MissBurnPPM != 1500 {
+		t.Errorf("miss burn = %d ppm, want 1500", r.MissBurnPPM)
+	}
+	if r.DegradeBurnPPM != 4000 {
+		t.Errorf("degrade burn = %d ppm, want 4000", r.DegradeBurnPPM)
+	}
+	// Zero denominators burn nothing rather than dividing by zero.
+	z := SLOReport{Misses: 5, Degrades: 5}.WithBurn()
+	if z.MissBurnPPM != 0 || z.DegradeBurnPPM != 0 {
+		t.Errorf("zero-denominator burns = %d/%d, want 0/0", z.MissBurnPPM, z.DegradeBurnPPM)
+	}
+}
+
+// TestSLOAddRecomputesOverMergedDenominators pins the federation rule:
+// cluster burn is total misses over total frames, not a mean of rates.
+func TestSLOAddRecomputesOverMergedDenominators(t *testing.T) {
+	a := SLOReport{Sessions: 1, Frames: 1000, Misses: 10, GOPs: 100}.WithBurn() // 10000 ppm
+	b := SLOReport{Sessions: 2, Frames: 9000, Misses: 0, GOPs: 900, Resumes: 1}.WithBurn()
+	sum := a.Add(b)
+	if sum.Sessions != 3 || sum.Resumes != 1 || sum.Frames != 10000 || sum.Misses != 10 {
+		t.Fatalf("counts did not sum: %+v", sum)
+	}
+	if sum.MissBurnPPM != 1000 {
+		t.Errorf("merged miss burn = %d ppm, want 1000 (10/10000), not the 5000 a rate-mean would give",
+			sum.MissBurnPPM)
+	}
+}
+
+func TestSLOCheck(t *testing.T) {
+	ok := SLOReport{Frames: 1000, GOPs: 100}.WithBurn()
+	if msgs := ok.Check(0, 0); len(msgs) != 0 {
+		t.Errorf("clean report failed zero budgets: %v", msgs)
+	}
+	hot := SLOReport{Frames: 1000, Misses: 2, GOPs: 100, Degrades: 1}.WithBurn()
+	if msgs := hot.Check(1000, 10000); len(msgs) != 1 {
+		t.Errorf("want exactly the miss-burn violation, got %v", msgs)
+	}
+	if msgs := hot.Check(2000, 10000); len(msgs) != 0 {
+		t.Errorf("report within budgets still failed: %v", msgs)
+	}
+	bad := SLOReport{Frames: 1, Misses: 2}.WithBurn()
+	if msgs := bad.Check(3_000_000, 0); len(msgs) != 1 {
+		t.Errorf("inconsistent misses>frames not flagged: %v", msgs)
+	}
+}
+
+func TestParsePromTypesAndLabels(t *testing.T) {
+	p, err := ParseProm(`# TYPE vcprof_svc_jobs_completed counter
+vcprof_svc_jobs_completed 7
+vcprof_svc_jobs_completed{shard="s0"} 3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Types["vcprof_svc_jobs_completed"] != "counter" {
+		t.Errorf("TYPE not parsed: %v", p.Types)
+	}
+	if p.Scalars["vcprof_svc_jobs_completed"] != 7 {
+		t.Errorf("plain sample = %v", p.Scalars)
+	}
+	if p.Scalars[`vcprof_svc_jobs_completed{shard="s0"}`] != 3 {
+		t.Errorf("labeled sample keyed by full name: %v", p.Scalars)
+	}
+}
